@@ -1,0 +1,59 @@
+"""Quickstart: optimize one SCoP with LOOPRAG end to end.
+
+Run with:  python examples/quickstart.py
+"""
+
+import warnings
+
+warnings.filterwarnings("ignore")
+
+from repro.codegen import scop_body_to_c
+from repro.ir import parse_scop
+from repro.llm import DEEPSEEK_V3
+from repro.pipeline import LoopRAG
+from repro.synthesis import cached_dataset
+
+# 1. Write your kernel in the C-like SCoP dialect (this is `syrk` from
+#    PolyBench, the paper's running example).
+SOURCE = """
+scop syrk(N, M) {
+  scalars alpha=1.5 beta=1.2;
+  array C[N][N] output;
+  array A[N][M];
+  for (i = 0; i < N; i++) {
+    for (j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < M; k++)
+      for (j = 0; j <= i; j++)
+        C[i][j] += alpha * A[i][k] * A[j][k];
+  }
+}
+"""
+
+
+def main() -> None:
+    target = parse_scop(SOURCE)
+    print("== original ==")
+    print(scop_body_to_c(target))
+
+    # 2. Build (or reuse) the synthesized demonstration corpus and create
+    #    a LOOPRAG instance with the DeepSeek persona.
+    dataset = cached_dataset(size=300, seed=0)
+    looprag = LoopRAG(dataset, persona=DEEPSEEK_V3, seed=0)
+
+    # 3. Optimize: perf params drive the performance model, test params
+    #    drive differential testing.
+    outcome = looprag.optimize(target,
+                               perf_params={"N": 1500, "M": 1200},
+                               test_params={"N": 8, "M": 6})
+
+    print("\n== LOOPRAG output ==")
+    print(f"passed equivalence testing : {outcome.passed}")
+    print(f"modeled speedup            : {outcome.speedup:.2f}x")
+    print(f"applied transformations    : {outcome.best_recipe}")
+    print("\n== optimized code ==")
+    print(scop_body_to_c(outcome.best_program))
+
+
+if __name__ == "__main__":
+    main()

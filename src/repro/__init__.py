@@ -1,0 +1,48 @@
+"""LOOPRAG reproduction — retrieval-augmented loop transformation
+optimization for Static Control Parts (SCoPs).
+
+Public API tour:
+
+* ``repro.ir``            — parse/build SCoP programs (the Clan substitute)
+* ``repro.transforms``    — the loop transformation vocabulary + recipes
+* ``repro.analysis``      — dependences, legality, loop properties
+* ``repro.machine``       — the analytical performance model + trace sim
+* ``repro.runtime``       — the schedule-ordered interpreter
+* ``repro.compilers``     — PLuTo / Polly / Graphite / Perspective / ICX
+* ``repro.synthesis``     — the parameter-driven dataset generator
+* ``repro.retrieval``     — BM25 + LAScore demonstration retrieval
+* ``repro.llm``           — Appendix-E prompts + simulated LLM personas
+* ``repro.testing``       — mutation + coverage + differential testing
+* ``repro.pipeline``      — the four-step feedback loop and LoopRAG facade
+* ``repro.suites``        — PolyBench (30) / TSVC (84) / LORE (49)
+* ``repro.evaluation``    — every table and figure of the paper
+
+Quickstart::
+
+    from repro.ir import parse_scop
+    from repro.llm import DEEPSEEK_V3
+    from repro.pipeline import LoopRAG
+    from repro.synthesis import cached_dataset
+
+    program = parse_scop(my_scop_source)
+    looprag = LoopRAG(cached_dataset(300), DEEPSEEK_V3)
+    outcome = looprag.optimize(program,
+                               perf_params={"N": 2000},
+                               test_params={"N": 8})
+    print(outcome.speedup, outcome.best_recipe)
+"""
+
+from .ir import parse_scop
+from .llm import DEEPSEEK_V3, GPT_4O, PERSONAS
+from .pipeline import BaseLLMOptimizer, LoopRAG
+from .synthesis import build_dataset, cached_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "parse_scop",
+    "DEEPSEEK_V3", "GPT_4O", "PERSONAS",
+    "BaseLLMOptimizer", "LoopRAG",
+    "build_dataset", "cached_dataset",
+    "__version__",
+]

@@ -1,0 +1,328 @@
+"""Data-dependence analysis.
+
+Dependences are computed *dynamically and exactly* on a small concrete
+parameter binding: the program is executed symbolically in its original
+schedule order and every producer/consumer pair on every array element is
+recorded (RAW, WAW, WAR — §2.1).  Each dependence class keeps a bounded set
+of concrete *witness* instance pairs; schedule legality (for transforms,
+parallel and vector pragmas) is then checked by re-evaluating candidate
+schedules on the witnesses.
+
+This concretization is this repo's substitute for ISL-based exact
+dependence analysis: it is exact for the sampled sizes and, because every
+dependence in an affine SCoP with constant distances shows up at small
+sizes, it is reliable on the benchmark/synthesized programs used here
+(DESIGN.md discusses the substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.program import Program
+from ..ir.schedule import Schedule
+
+KIND_RAW = "RAW"
+KIND_WAW = "WAW"
+KIND_WAR = "WAR"
+
+#: Instance = (statement index, iterator environment as sorted tuple)
+Instance = Tuple[int, Tuple[Tuple[str, int], ...]]
+
+_MAX_WITNESSES = 24
+#: default concrete parameter value for concretization: big enough that
+#: distance-2 dependences remain visible behind margin-2 loop bounds and
+#: that size-2 legality tiles actually cross boundaries
+_DEFAULT_PARAM = 8
+_ANALYSIS_BUDGET = 200_000
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A dependence class between two statements through one array."""
+
+    kind: str
+    source: str
+    target: str
+    array: str
+    #: distance vectors over the common loop iterators (may be several)
+    distances: Tuple[Tuple[int, ...], ...]
+    common_iters: Tuple[str, ...]
+    loop_carried: bool
+    witnesses: Tuple[Tuple[Instance, Instance], ...] = field(repr=False,
+                                                             default=())
+
+    @property
+    def constant_distance(self) -> Optional[Tuple[int, ...]]:
+        """The single distance vector, when there is exactly one."""
+        if len(self.distances) == 1:
+            return self.distances[0]
+        return None
+
+    def __str__(self) -> str:
+        dist = ",".join(str(d) for d in self.distances[:3])
+        more = "..." if len(self.distances) > 3 else ""
+        return (f"{self.kind} {self.source}->{self.target} on {self.array} "
+                f"dist={{{dist}{more}}} over ({', '.join(self.common_iters)})")
+
+
+def analysis_params(program: Program,
+                    value: int = _DEFAULT_PARAM) -> Dict[str, int]:
+    """Small concrete parameter binding used for concretization."""
+    return {p: value for p in program.params}
+
+
+def _collect_events(program: Program, params: Mapping[str, int]
+                    ) -> List[Tuple[Tuple[int, ...], int, Dict[str, int]]]:
+    schedules = program.aligned_schedules()
+    events: List[Tuple[Tuple[int, ...], int, Dict[str, int]]] = []
+    total = 0
+    for si, stmt in enumerate(program.statements):
+        sched = schedules[si]
+        for point in stmt.domain.enumerate(params):
+            total += 1
+            if total > _ANALYSIS_BUDGET:
+                raise RuntimeError(
+                    f"dependence analysis budget exceeded on {program.name}")
+            env = dict(params)
+            env.update(point)
+            if not stmt.guards_hold(env):
+                continue
+            events.append((sched.evaluate(env), si, point))
+    events.sort(key=lambda item: (item[0], item[1]))
+    return events
+
+
+def compute_dependences(program: Program,
+                        params: Optional[Mapping[str, int]] = None
+                        ) -> List[Dependence]:
+    """Enumerate all dependence classes of a program."""
+    if params is None:
+        params = analysis_params(program)
+    events = _collect_events(program, params)
+
+    # last writer / readers-since-write / two-deep read history per element
+    last_write: Dict[Tuple[str, Tuple[int, ...]], Instance] = {}
+    read_history: Dict[Tuple[str, Tuple[int, ...]],
+                       Tuple[Optional[Instance], Optional[Instance]]] = {}
+    readers: Dict[Tuple[str, Tuple[int, ...]], List[Instance]] = {}
+    raw_pairs: Dict[Tuple[int, int, str], List[Tuple[Instance, Instance]]] = {}
+    waw_pairs: Dict[Tuple[int, int, str], List[Tuple[Instance, Instance]]] = {}
+    war_pairs: Dict[Tuple[int, int, str], List[Tuple[Instance, Instance]]] = {}
+    # distance vectors are collected exhaustively (they are small sets)
+    # even though witness instances stay bounded
+    distance_sets: Dict[Tuple[str, int, int, str], set] = {}
+    common_cache: Dict[Tuple[int, int], Tuple[str, ...]] = {}
+
+    def _common(si_src: int, si_tgt: int) -> Tuple[str, ...]:
+        key = (si_src, si_tgt)
+        got = common_cache.get(key)
+        if got is None:
+            src_names = program.statements[si_src].domain.iterator_names
+            tgt_names = set(
+                program.statements[si_tgt].domain.iterator_names)
+            got = tuple(n for n in src_names if n in tgt_names)
+            common_cache[key] = got
+        return got
+
+    def add(pairs, key, src, tgt, kind):
+        bucket = pairs.setdefault(key, [])
+        if len(bucket) < _MAX_WITNESSES:
+            bucket.append((src, tgt))
+        else:
+            # keep the class but rotate witnesses for diversity
+            bucket[hash(tgt) % _MAX_WITNESSES] = (src, tgt)
+        s_map = dict(src[1])
+        t_map = dict(tgt[1])
+        vec = tuple(t_map[n] - s_map[n] for n in _common(src[0], tgt[0]))
+        distance_sets.setdefault((kind,) + key, set()).add(vec)
+
+    for _key, si, point in events:
+        stmt = program.statements[si]
+        env = dict(params)
+        env.update(point)
+        inst: Instance = (si, tuple(sorted(point.items())))
+        for ref in stmt.reads():
+            element = (ref.array, ref.index_values(env))
+            writer = last_write.get(element)
+            if writer is not None:
+                add(raw_pairs, (writer[0], si, ref.array), writer, inst,
+                    KIND_RAW)
+            readers.setdefault(element, []).append(inst)
+            prev, _old = read_history.get(element, (None, None))
+            read_history[element] = (inst, prev)
+        wref = stmt.write()
+        element = (wref.array, wref.index_values(env))
+        writer = last_write.get(element)
+        if writer is not None:
+            add(waw_pairs, (writer[0], si, wref.array), writer, inst,
+                KIND_WAW)
+        for reader in readers.get(element, ()):  # reads since last write
+            if reader != inst:
+                add(war_pairs, (reader[0], si, wref.array), reader, inst,
+                    KIND_WAR)
+        # Anti-dependence through compound assignments: the most recent read
+        # by a *different* instance must stay before this write.  These
+        # pairs are transitively implied by the RAW/WAW chain, so recording
+        # them is sound, and it surfaces the array-level WAR the paper
+        # attributes to ``*=``/``+=`` (§2.1).
+        newest, older = read_history.get(element, (None, None))
+        reader = newest if newest is not None and newest != inst else older
+        if reader is not None and reader != inst:
+            add(war_pairs, (reader[0], si, wref.array), reader, inst,
+                KIND_WAR)
+        readers[element] = []
+        last_write[element] = inst
+
+    deps: List[Dependence] = []
+    for kind, pairs in ((KIND_RAW, raw_pairs), (KIND_WAW, waw_pairs),
+                        (KIND_WAR, war_pairs)):
+        for (src_idx, tgt_idx, array), witnesses in sorted(pairs.items()):
+            all_distances = distance_sets.get(
+                (kind, src_idx, tgt_idx, array), set())
+            deps.append(_summarize(program, kind, src_idx, tgt_idx, array,
+                                   witnesses, all_distances))
+    return deps
+
+
+def _summarize(program: Program, kind: str, src_idx: int, tgt_idx: int,
+               array: str,
+               witnesses: List[Tuple[Instance, Instance]],
+               all_distances: set) -> Dependence:
+    src_stmt = program.statements[src_idx]
+    tgt_stmt = program.statements[tgt_idx]
+    src_iters = src_stmt.domain.iterator_names
+    tgt_iters = set(tgt_stmt.domain.iterator_names)
+    common = tuple(name for name in src_iters if name in tgt_iters)
+    distances = set(all_distances)
+    for (_s_si, s_env), (_t_si, t_env) in witnesses:
+        s_map = dict(s_env)
+        t_map = dict(t_env)
+        distances.add(tuple(t_map[name] - s_map[name] for name in common))
+    carried = any(any(v != 0 for v in vec) for vec in distances)
+    return Dependence(kind=kind, source=src_stmt.name, target=tgt_stmt.name,
+                      array=array, distances=tuple(sorted(distances)),
+                      common_iters=common, loop_carried=carried,
+                      witnesses=tuple(witnesses))
+
+
+# ----------------------------------------------------------------------
+# Legality checking against witnesses
+# ----------------------------------------------------------------------
+_LEGALITY_TILE = 2
+
+
+def _legality_schedules(program: Program) -> List[Schedule]:
+    """Aligned schedules with tile sizes shrunk for witness evaluation.
+
+    Witnesses are concretized on a small parameter binding, so a size-32
+    tile would never cross a boundary there and illegal tilings would look
+    legal.  Rectangular-band tiling legality is size-independent (it is
+    band permutability), so evaluating with size-2 tiles on the small
+    domain checks the same property while actually exercising boundaries.
+    """
+    from ..ir.schedule import Schedule as Sched, TileDim
+
+    out: List[Schedule] = []
+    for sched in program.aligned_schedules():
+        dims = tuple(
+            TileDim(d.expr, min(d.size, _LEGALITY_TILE))
+            if isinstance(d, TileDim) else d
+            for d in sched.dims)
+        out.append(Sched(dims))
+    return out
+
+
+def _instance_key(program: Program, schedules: Sequence[Schedule],
+                  params: Mapping[str, int], inst: Instance) -> Tuple[int, ...]:
+    si, env_items = inst
+    env = dict(params)
+    env.update(dict(env_items))
+    return schedules[si].evaluate(env)
+
+
+def schedule_violations(program: Program, deps: Sequence[Dependence],
+                        params: Optional[Mapping[str, int]] = None
+                        ) -> List[Dependence]:
+    """Dependences whose witnesses are reordered by ``program``'s schedule.
+
+    ``program`` must share statement names/domains with the program the
+    dependences were computed on (transforms preserve both).
+    """
+    if params is None:
+        params = analysis_params(program)
+    schedules = _legality_schedules(program)
+    name_to_idx = {s.name: i for i, s in enumerate(program.statements)}
+    violated: List[Dependence] = []
+    for dep in deps:
+        if dep.source not in name_to_idx or dep.target not in name_to_idx:
+            violated.append(dep)
+            continue
+        for src, tgt in dep.witnesses:
+            skey = _instance_key(program, schedules, params, src)
+            tkey = _instance_key(program, schedules, params, tgt)
+            tie = (skey == tkey and
+                   name_to_idx[dep.source] >= name_to_idx[dep.target])
+            if skey > tkey or tie:
+                violated.append(dep)
+                break
+    return violated
+
+
+def is_legal_schedule(program: Program, deps: Sequence[Dependence],
+                      params: Optional[Mapping[str, int]] = None) -> bool:
+    return not schedule_violations(program, deps, params)
+
+
+def parallel_violations(program: Program, deps: Sequence[Dependence],
+                        dim: int,
+                        params: Optional[Mapping[str, int]] = None
+                        ) -> List[Dependence]:
+    """Dependences carried by schedule dimension ``dim``.
+
+    A dimension may be marked parallel only when no dependence has equal
+    schedule prefixes before ``dim`` but different values at ``dim``.
+    """
+    if params is None:
+        params = analysis_params(program)
+    schedules = _legality_schedules(program)
+    violated: List[Dependence] = []
+    for dep in deps:
+        for src, tgt in dep.witnesses:
+            skey = _instance_key(program, schedules, params, src)
+            tkey = _instance_key(program, schedules, params, tgt)
+            if dim >= len(skey):
+                continue
+            if skey[:dim] == tkey[:dim] and skey[dim] != tkey[dim]:
+                violated.append(dep)
+                break
+    return violated
+
+
+def is_parallel_dim(program: Program, deps: Sequence[Dependence],
+                    dim: int,
+                    params: Optional[Mapping[str, int]] = None) -> bool:
+    return not parallel_violations(program, deps, dim, params)
+
+
+# ----------------------------------------------------------------------
+# Memoized entry point
+# ----------------------------------------------------------------------
+_DEP_CACHE: Dict[Tuple[str, Tuple[Tuple[str, int], ...]], List[Dependence]] = {}
+
+
+def dependences(program: Program,
+                params: Optional[Mapping[str, int]] = None
+                ) -> List[Dependence]:
+    """Memoized :func:`compute_dependences` (keyed by program fingerprint)."""
+    if params is None:
+        params = analysis_params(program)
+    key = (program.fingerprint(), tuple(sorted(params.items())))
+    cached = _DEP_CACHE.get(key)
+    if cached is None:
+        cached = compute_dependences(program, params)
+        if len(_DEP_CACHE) > 4096:
+            _DEP_CACHE.clear()
+        _DEP_CACHE[key] = cached
+    return cached

@@ -1,0 +1,233 @@
+"""Symbolic dependence analysis for the constant-distance common case.
+
+The witness-based analyzer (`repro.analysis.dependences`) is exact on a
+sampled size; this module computes dependence *distance vectors
+symbolically* for the dominant SCoP pattern — references whose subscripts
+are ``iterator + constant`` per dimension — without enumerating anything.
+It plays the role ISL's exact dataflow analysis plays for PLuTo: size-
+independent distances for uniform dependences.
+
+For a pair of references to the same array,
+
+    write  A[i + a1][j + a2 ...]   from statement S
+    access A[i + b1][j + b2 ...]   from statement T
+
+sharing the loop prefix ``(i, j, ...)``, the element coincides exactly
+when the common iterators differ by ``d_k = a_k − b_k`` on every
+dimension where both subscripts use the same iterator.  The distance is
+therefore a constant vector — precisely the "constant dependence
+distances" the paper's synthesizer constrains itself to (Appendix A).
+
+Coverage is *partial by design*: references with transposed/shared/
+missing iterators return ``None`` ("cannot decide symbolically") and the
+caller falls back to the witness analyzer.  The two are cross-validated
+in ``tests/test_analysis_symbolic.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.expr import Ref
+from ..ir.program import Program
+from ..ir.statement import Statement
+from .dependences import KIND_RAW, KIND_WAR, KIND_WAW
+
+
+@dataclass(frozen=True)
+class SymbolicDependence:
+    """A symbolically derived dependence class."""
+
+    kind: str
+    source: str
+    target: str
+    array: str
+    distance: Tuple[int, ...]
+    common_iters: Tuple[str, ...]
+
+    @property
+    def loop_carried(self) -> bool:
+        return any(d != 0 for d in self.distance)
+
+    def __str__(self) -> str:
+        return (f"{self.kind} {self.source}->{self.target} on "
+                f"{self.array} dist={self.distance}")
+
+
+def _uniform_offsets(ref: Ref,
+                     iterators: Sequence[str]) -> Optional[Dict[str, int]]:
+    """Map iterator -> constant offset when the ref is uniform.
+
+    Uniform means: every subscript is ``one iterator (coeff 1) + const``,
+    each iterator used at most once, no parameters in subscripts.
+    """
+    offsets: Dict[str, int] = {}
+    iterator_set = set(iterators)
+    for index in ref.indices:
+        names = index.variables()
+        if len(names) != 1:
+            return None
+        name = names[0]
+        if name not in iterator_set or index.coeff(name) != 1:
+            return None
+        if name in offsets:
+            return None
+        offsets[name] = index.const
+    return offsets
+
+
+def _common_loops(src: Statement, tgt: Statement) -> List[str]:
+    """Loops genuinely shared by two statements.
+
+    Sibling loops may reuse an iterator name (both inner loops of
+    jacobi-1d are ``i``), so name equality is not identity.  Two
+    statements share a loop level iff their canonical schedules agree on
+    every dimension up to and including it: equal text constants and the
+    same iterator expression.
+    """
+    out: List[str] = []
+    for sdim, tdim in zip(src.schedule.dims, tgt.schedule.dims):
+        if sdim.is_dynamic != tdim.is_dynamic:
+            break
+        if not sdim.is_dynamic:
+            if sdim.value != tdim.value:  # type: ignore[union-attr]
+                break
+            continue
+        if sdim.expr != tdim.expr:  # type: ignore[union-attr]
+            break
+        names = sdim.expr.variables()  # type: ignore[union-attr]
+        if len(names) == 1:
+            out.append(names[0])
+    return out
+
+
+def _pair_distance(src_ref: Ref, tgt_ref: Ref,
+                   src_stmt: Statement, tgt_stmt: Statement
+                   ) -> Optional[Tuple[Dict[str, int], Tuple[str, ...],
+                                       List[str]]]:
+    """Pinned distances + unpinned common loops for one access pair.
+
+    Returns ``(pinned, common, unpinned)`` where ``pinned`` maps the
+    common iterators the subscripts constrain to their constant distance
+    and ``unpinned`` lists common loops absent from both subscript lists
+    (e.g. a reduction's accumulation loop, or a stencil's time loop).
+    """
+    if src_ref.array != tgt_ref.array:
+        return None
+    if len(src_ref.indices) != len(tgt_ref.indices):
+        return None
+    src_iters = src_stmt.domain.iterator_names
+    tgt_iters = tgt_stmt.domain.iterator_names
+    common = _common_loops(src_stmt, tgt_stmt)
+    if not common:
+        return None
+    src_off = _uniform_offsets(src_ref, src_iters)
+    tgt_off = _uniform_offsets(tgt_ref, tgt_iters)
+    if src_off is None or tgt_off is None:
+        return None
+    # dimension pairing must bind the same iterator in both refs
+    pinned: Dict[str, int] = {}
+    for s_index, t_index in zip(src_ref.indices, tgt_ref.indices):
+        s_name = s_index.variables()[0]
+        t_name = t_index.variables()[0]
+        if s_name != t_name:
+            return None
+        if s_name not in common:
+            # deeper non-common iterator: the element only coincides for
+            # specific pairs; not a uniform dependence
+            if s_index.const != t_index.const:
+                return None
+            continue
+        # A[i + a] (source) == A[i' + b] (target) when i' = i + (a - b)
+        pinned[s_name] = s_index.const - t_index.const
+    unpinned = [
+        name for name in common
+        if name not in pinned
+        and not any(name in ix.variables() for ix in src_ref.indices)
+        and not any(name in ix.variables() for ix in tgt_ref.indices)]
+    return pinned, tuple(common), unpinned
+
+
+def _direct_distance(pinned: Dict[str, int], common: Sequence[str],
+                     unpinned: Sequence[str], src_idx: int,
+                     tgt_idx: int) -> Optional[Tuple[int, ...]]:
+    """The *direct* (last-access) dependence distance.
+
+    Unpinned common loops rewrite the same element every iteration, so
+    the direct source is either the same iteration (when textual order
+    already places the source first) or the previous iteration of the
+    innermost unpinned loop — this reconstructs the kills an ISL dataflow
+    analysis would compute.
+    """
+    vec = [pinned.get(name, 0) for name in common]
+    ordered = False
+    for d in vec:
+        if d > 0:
+            ordered = True
+            break
+        if d < 0:
+            return None  # source would run after target
+    else:
+        ordered = src_idx < tgt_idx
+    if ordered:
+        return tuple(vec)
+    if not unpinned:
+        return None
+    innermost = unpinned[-1]
+    vec[list(common).index(innermost)] = 1
+    return tuple(vec)
+
+
+def symbolic_dependences(program: Program) -> List[SymbolicDependence]:
+    """All uniform-distance dependence classes, derived symbolically.
+
+    Returns only pairs the symbolic machinery can decide; callers needing
+    completeness combine this with the witness analyzer.
+    """
+    out: List[SymbolicDependence] = []
+    seen = set()
+    statements = list(program.statements)
+    for si, src in enumerate(statements):
+        for ti, tgt in enumerate(statements):
+            for s_ref, s_write in src.all_refs():
+                for t_ref, t_write in tgt.all_refs():
+                    if not (s_write or t_write):
+                        continue
+                    pair = _pair_distance(s_ref, t_ref, src, tgt)
+                    if pair is None:
+                        continue
+                    pinned, common, unpinned = pair
+                    distance = _direct_distance(pinned, common, unpinned,
+                                                si, ti)
+                    if distance is None:
+                        continue
+                    if si == ti and all(d == 0 for d in distance):
+                        continue  # same instance
+                    if s_write and t_write:
+                        kind = KIND_WAW
+                    elif s_write:
+                        kind = KIND_RAW
+                    else:
+                        kind = KIND_WAR
+                    key = (kind, src.name, tgt.name, s_ref.array, distance)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append(SymbolicDependence(
+                        kind=kind, source=src.name, target=tgt.name,
+                        array=s_ref.array, distance=distance,
+                        common_iters=common))
+    return out
+
+
+def uniform_coverage(program: Program) -> float:
+    """Fraction of references the symbolic analyzer can reason about."""
+    total = 0
+    covered = 0
+    for stmt in program.statements:
+        for ref, _w in stmt.all_refs():
+            total += 1
+            if _uniform_offsets(ref, stmt.domain.iterator_names) is not None:
+                covered += 1
+    return covered / total if total else 1.0

@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+optimize FILE     run LOOPRAG on a SCoP source file and print the result
+compilers FILE    run every baseline compiler on a SCoP source file
+experiment ID     regenerate one table/figure (tab1..tab7, fig1..fig14)
+suites            list the benchmark suites and their kernels
+synthesize        build a demonstration corpus and report its statistics
+
+Parameter bindings are given as ``NAME=VALUE`` pairs, e.g.::
+
+    python -m repro optimize kernel.scop --perf N=2000 M=1500 --test N=8 M=6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import warnings
+from typing import Dict, List, Sequence
+
+warnings.filterwarnings("ignore")
+
+
+def _parse_bindings(pairs: Sequence[str]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for pair in pairs:
+        name, _sep, value = pair.partition("=")
+        if not _sep:
+            raise SystemExit(f"expected NAME=VALUE, got {pair!r}")
+        out[name] = int(value)
+    return out
+
+
+def _load_program(path: str):
+    from .ir import parse_scop
+
+    with open(path) as handle:
+        return parse_scop(handle.read())
+
+
+def _default_params(program, value: int) -> Dict[str, int]:
+    return {p: value for p in program.params}
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from .codegen import scop_body_to_c
+    from .llm import PERSONAS
+    from .pipeline import LoopRAG
+    from .synthesis import cached_dataset
+
+    program = _load_program(args.file)
+    perf = _parse_bindings(args.perf) or _default_params(program, 1500)
+    test = _parse_bindings(args.test) or _default_params(program, 8)
+    persona = PERSONAS[args.persona]
+    looprag = LoopRAG(cached_dataset(args.dataset_size, args.seed),
+                      persona, seed=args.seed,
+                      retrieval_method=args.retrieval)
+    outcome = looprag.optimize(program, perf, test)
+    print(f"# pass: {outcome.passed}   speedup: {outcome.speedup:.2f}x")
+    if outcome.best_recipe is not None:
+        print(f"# recipe: {outcome.best_recipe.describe()}")
+    if outcome.best_program is not None:
+        print(scop_body_to_c(outcome.best_program))
+    return 0 if outcome.passed else 1
+
+
+def cmd_compilers(args: argparse.Namespace) -> int:
+    from .compilers import (BASE_COMPILERS, Graphite, IcxOptimizer,
+                            Perspective, Polly, Pluto)
+    from .evaluation.harness import OPTIMIZER_BASE
+    from .machine import DEFAULT_MACHINE, estimate_cached
+
+    program = _load_program(args.file)
+    perf = _parse_bindings(args.perf) or _default_params(program, 1500)
+    for optimizer in (Pluto(), Polly(), Graphite(), Perspective(),
+                      IcxOptimizer()):
+        base = BASE_COMPILERS[OPTIMIZER_BASE[optimizer.name]]
+        baseline = estimate_cached(base.finalize(program), perf,
+                                   DEFAULT_MACHINE).seconds
+        result = optimizer.optimize(program, perf)
+        if not result.ok:
+            print(f"{optimizer.name:12s} FAILED: {result.failure}")
+            continue
+        machine = getattr(optimizer, "machine_override", DEFAULT_MACHINE)
+        seconds = estimate_cached(base.finalize(result.program), perf,
+                                  machine).seconds
+        print(f"{optimizer.name:12s} {baseline / seconds:8.2f}x  "
+              f"{result.recipe.describe()[:90] or '<no change>'}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from .evaluation import ALL_EXPERIMENTS, render_table
+
+    if args.id not in ALL_EXPERIMENTS:
+        raise SystemExit(
+            f"unknown experiment {args.id!r}; "
+            f"choose from {', '.join(sorted(ALL_EXPERIMENTS))}")
+    print(render_table(ALL_EXPERIMENTS[args.id]()))
+    return 0
+
+
+def cmd_suites(args: argparse.Namespace) -> int:
+    from .suites import SUITES
+
+    for name, factory in SUITES.items():
+        suite = factory()
+        print(f"{name} ({len(suite)} kernels)")
+        if args.verbose:
+            for bench in suite:
+                depth = bench.program.max_depth
+                stmts = len(bench.program.statements)
+                print(f"  {bench.name:20s} depth={depth} stmts={stmts}")
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    from .analysis import cluster_distribution
+    from .synthesis import build_dataset, transformation_kinds
+
+    dataset = build_dataset(args.size, args.seed, args.generator)
+    print(f"{len(dataset)} examples (generator={args.generator}, "
+          f"seed={args.seed})")
+    print("transformation kinds in the PLuTo-optimized corpus:")
+    for kind, count in sorted(transformation_kinds(dataset).items()):
+        print(f"  {kind:14s} {count}")
+    if args.distribution:
+        print("loop property distribution:")
+        dist = cluster_distribution([e.example for e in dataset])
+        for prop, buckets in dist.items():
+            cells = "  ".join(f"{c}={v:5.1f}%"
+                              for c, v in buckets.items())
+            print(f"  {prop:10s} {cells}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    opt = sub.add_parser("optimize", help="run LOOPRAG on a SCoP file")
+    opt.add_argument("file")
+    opt.add_argument("--persona", default="deepseek",
+                     choices=("deepseek", "gpt4", "deepseek-v2.5"))
+    opt.add_argument("--retrieval", default="loop-aware",
+                     choices=("loop-aware", "bm25", "weighted"))
+    opt.add_argument("--perf", nargs="*", default=[],
+                     metavar="NAME=VALUE")
+    opt.add_argument("--test", nargs="*", default=[],
+                     metavar="NAME=VALUE")
+    opt.add_argument("--dataset-size", type=int, default=300)
+    opt.add_argument("--seed", type=int, default=0)
+    opt.set_defaults(func=cmd_optimize)
+
+    comp = sub.add_parser("compilers",
+                          help="baseline compiler shootout on a file")
+    comp.add_argument("file")
+    comp.add_argument("--perf", nargs="*", default=[],
+                      metavar="NAME=VALUE")
+    comp.set_defaults(func=cmd_compilers)
+
+    exp = sub.add_parser("experiment",
+                         help="regenerate one table or figure")
+    exp.add_argument("id")
+    exp.set_defaults(func=cmd_experiment)
+
+    ste = sub.add_parser("suites", help="list benchmark suites")
+    ste.add_argument("-v", "--verbose", action="store_true")
+    ste.set_defaults(func=cmd_suites)
+
+    syn = sub.add_parser("synthesize", help="build a corpus and report")
+    syn.add_argument("--size", type=int, default=300)
+    syn.add_argument("--seed", type=int, default=0)
+    syn.add_argument("--generator", default="looprag",
+                     choices=("looprag", "colagen"))
+    syn.add_argument("--distribution", action="store_true")
+    syn.set_defaults(func=cmd_synthesize)
+    return parser
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Pseudo-C code generation from SCoP programs."""
+
+from .cprinter import scop_body_to_c, to_c
+
+__all__ = ["scop_body_to_c", "to_c"]

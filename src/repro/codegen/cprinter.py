@@ -1,0 +1,207 @@
+"""Pseudo-C rendering of SCoP programs.
+
+Reconstructs a loop nest from the (possibly transformed) schedules and
+prints C-like text.  Three consumers: the BM25 retriever indexes this text,
+prompt demonstrations show it to the (simulated) LLM, and humans read it in
+examples.  Execution never goes through printed text — the interpreter runs
+schedules directly — so the printer favours clarity: tile loops print with
+``/B`` bounds, skewed dimensions get synthetic iterators, parallel /
+vectorized columns print their pragmas.
+
+The inverse direction (text → IR) is ``repro.ir.parser``; round-tripping
+*original* (untransformed) programs through both is tested.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.affine import Affine
+from ..ir.domain import Domain, IterSpec
+from ..ir.program import Program
+from ..ir.schedule import ConstDim, LoopDim, Schedule, TileDim
+from ..ir.statement import Statement
+
+_INDENT = "  "
+
+
+def _bound_str(exprs: Sequence[Affine], fn: str) -> str:
+    rendered = [str(e) for e in exprs]
+    if len(rendered) == 1:
+        return rendered[0]
+    return f"{fn}({', '.join(rendered)})"
+
+
+def _interval_of(expr: Affine, domain: Domain) -> Tuple[str, str]:
+    """Textual lower/upper bounds of an affine schedule expression."""
+    lo_terms: List[str] = []
+    hi_terms: List[str] = []
+    specs = {s.name: s for s in domain.iters}
+    if expr.const:
+        lo_terms.append(str(expr.const))
+        hi_terms.append(str(expr.const))
+    for name, coeff in expr.terms:
+        spec = specs.get(name)
+        if spec is None:
+            term = f"{coeff}*{name}" if coeff != 1 else name
+            lo_terms.append(term)
+            hi_terms.append(term)
+            continue
+        lo = _bound_str(spec.lowers, "max")
+        hi = _bound_str(spec.uppers, "min")
+        if coeff > 0:
+            lo_terms.append(lo if coeff == 1 else f"{coeff}*({lo})")
+            hi_terms.append(hi if coeff == 1 else f"{coeff}*({hi})")
+        else:
+            lo_terms.append(f"{coeff}*({hi})")
+            hi_terms.append(f"{coeff}*({lo})")
+    lo_text = " + ".join(lo_terms) if lo_terms else "0"
+    hi_text = " + ".join(hi_terms) if hi_terms else "0"
+    return lo_text, hi_text
+
+
+def _guard_str(guard: Affine) -> str:
+    return f"{guard} >= 0"
+
+
+def _stmt_line(stmt: Statement) -> str:
+    text = str(stmt.body)
+    if stmt.reg_accum:
+        text += "  /* accumulated in register */"
+    return f"{text}  // {stmt.name}"
+
+
+def _dim_signature(dim) -> Tuple[str, str]:
+    if isinstance(dim, ConstDim):
+        return ("const", str(dim.value))
+    if isinstance(dim, TileDim):
+        return ("tile", f"{dim.expr}/{dim.size}")
+    return ("loop", str(dim.expr))
+
+
+class _Printer:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.width = program.schedule_width
+        self.schedules = program.aligned_schedules()
+        self.lines: List[str] = []
+        self._loop_counter = 0
+        self._active_tiles: Dict[str, Tuple[str, int]] = {}
+
+    def emit(self, depth: int, text: str) -> None:
+        self.lines.append(_INDENT * depth + text)
+
+    def render(self) -> List[str]:
+        order = list(range(len(self.program.statements)))
+        self._render_group(order, 0, 0)
+        return self.lines
+
+    def _render_group(self, group: List[int], col: int, depth: int) -> None:
+        if not group:
+            return
+        if col >= self.width:
+            for si in group:
+                self._render_leaf(si, depth)
+            return
+        # statement list order need not match schedule order (synthesized
+        # programs attach statements in draft order): when the column is
+        # constant for the whole group, the text constant decides the
+        # textual order (stable, so ties keep list order — matching the
+        # interpreter's tie-break)
+        dims = [self.schedules[si].dims[col] for si in group]
+        if all(isinstance(d, ConstDim) for d in dims):
+            group = sorted(group,
+                           key=lambda si: self.schedules[si].dims[col].value)
+        # partition consecutively by dimension signature at this column
+        runs: List[Tuple[Tuple[str, str], List[int]]] = []
+        for si in group:
+            sig = _dim_signature(self.schedules[si].dims[col])
+            if runs and runs[-1][0] == sig:
+                runs[-1][1].append(si)
+            else:
+                runs.append((sig, [si]))
+        for (kind, _text), members in runs:
+            if kind == "const":
+                self._render_group(members, col + 1, depth)
+            else:
+                self._render_loop(members, col, depth, kind == "tile")
+
+    def _render_loop(self, members: List[int], col: int, depth: int,
+                     is_tile: bool) -> None:
+        program = self.program
+        first = members[0]
+        dim = self.schedules[first].dims[col]
+        stmt = program.statements[first]
+        expr = dim.expr  # dynamic by construction
+        single = (len(expr.terms) == 1 and expr.const == 0
+                  and expr.terms[0][1] == 1)
+        specs = {s.name: s for s in stmt.domain.iters}
+        tile_key: Optional[str] = None
+        if single and expr.terms[0][0] in specs and not is_tile:
+            name = expr.terms[0][0]
+            spec = specs[name]
+            lo = _bound_str(spec.lowers, "max")
+            hi = _bound_str(spec.uppers, "min")
+            covering = self._active_tiles.get(str(expr))
+            if covering is not None:
+                tname, size = covering
+                lo = f"max({lo}, {size}*{tname})"
+                hi = f"min({hi}, {size}*{tname}+{size - 1})"
+        else:
+            self._loop_counter += 1
+            name = f"t{self._loop_counter}"
+            lo, hi = _interval_of(expr, stmt.domain)
+            if is_tile:
+                size = dim.size  # type: ignore[union-attr]
+                lo = f"({lo})/{size}"
+                hi = f"({hi})/{size}"
+                tile_key = str(expr)
+                self._active_tiles[tile_key] = (name, size)
+        pragmas = []
+        if col in program.parallel_dims:
+            pragmas.append("#pragma omp parallel for")
+        if col in program.vector_dims:
+            pragmas.append("#pragma omp simd")
+        for pragma in pragmas:
+            self.emit(depth, pragma)
+        self.emit(depth, f"for ({name} = {lo}; {name} <= {hi}; {name}++) {{")
+        self._render_group(members, col + 1, depth + 1)
+        self.emit(depth, "}")
+        if tile_key is not None:
+            self._active_tiles.pop(tile_key, None)
+
+    def _render_leaf(self, si: int, depth: int) -> None:
+        stmt = self.program.statements[si]
+        if stmt.guards:
+            cond = " && ".join(_guard_str(g) for g in stmt.guards)
+            self.emit(depth, f"if ({cond})")
+            self.emit(depth + 1, _stmt_line(stmt))
+        else:
+            self.emit(depth, _stmt_line(stmt))
+
+
+def scop_body_to_c(program: Program) -> str:
+    """Render only the loop nest between the scop pragmas."""
+    return "\n".join(_Printer(program).render())
+
+
+def to_c(program: Program) -> str:
+    """Render a full pseudo-C translation unit for one program."""
+    lines: List[str] = []
+    params = ", ".join(f"int {p}" for p in program.params)
+    lines.append(f"// program {program.name}")
+    for note in program.provenance:
+        lines.append(f"// applied: {note}")
+    lines.append(f"void kernel_{program.name}({params}) {{")
+    for name, value in program.scalars:
+        lines.append(f"{_INDENT}double {name} = {value};")
+    for decl in program.arrays:
+        dims = "".join(f"[{d}]" for d in decl.dims)
+        marker = "  // output" if decl.name in program.outputs else ""
+        lines.append(f"{_INDENT}double {decl.name}{dims};{marker}")
+    lines.append(f"{_INDENT}#pragma scop")
+    for line in _Printer(program).render():
+        lines.append(_INDENT + line)
+    lines.append(f"{_INDENT}#pragma endscop")
+    lines.append("}")
+    return "\n".join(lines)

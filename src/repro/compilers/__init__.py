@@ -1,0 +1,15 @@
+"""Simulated compiler baselines (Table 1) and the PLuTo demo source."""
+
+from .base import (BASE_COMPILERS, CLANG, GCC, ICX, BaseCompiler, Optimizer,
+                   OptimizerResult, vector_violations)
+from .graphite import Graphite
+from .icx import IcxOptimizer
+from .perspective import Perspective
+from .polly import Polly
+from .pluto import Pluto
+
+__all__ = [
+    "BASE_COMPILERS", "CLANG", "GCC", "ICX", "BaseCompiler", "Optimizer",
+    "OptimizerResult", "vector_violations",
+    "Graphite", "IcxOptimizer", "Perspective", "Polly", "Pluto",
+]

@@ -1,0 +1,17 @@
+"""Evaluation: metrics, harness, experiments and reporting."""
+
+from .experiments import ALL_EXPERIMENTS, ExperimentResult
+from .harness import (BenchResult, run_base_llm, run_compiler, run_looprag,
+                      shared_retriever, speedups_by_benchmark, suites)
+from .metrics import (OUTLIER_CAP, average_speedup, pass_at_k,
+                      percent_faster, speedup_ratio)
+from .reporting import render_all, render_table
+
+__all__ = [
+    "ALL_EXPERIMENTS", "ExperimentResult",
+    "BenchResult", "run_base_llm", "run_compiler", "run_looprag",
+    "shared_retriever", "speedups_by_benchmark", "suites",
+    "OUTLIER_CAP", "average_speedup", "pass_at_k", "percent_faster",
+    "speedup_ratio",
+    "render_all", "render_table",
+]

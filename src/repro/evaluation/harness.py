@@ -1,0 +1,204 @@
+"""Experiment harness: run systems over suites, with session caching.
+
+Most tables and figures reuse the same underlying runs (Table 1 and
+Figure 6 share every LOOPRAG/compiler execution; Table 2 and Figure 7
+share the base-LLM runs...), so the harness memoizes per
+(suite, system-signature, seed).  Set ``REPRO_SUITE_LIMIT=<n>`` to
+subsample suites for quick iteration; benches run the full suites.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..compilers import (BASE_COMPILERS, Graphite, IcxOptimizer, Optimizer,
+                         Perspective, Polly, Pluto)
+from ..compilers.base import BaseCompiler
+from ..machine.analytical import estimate_cached
+from ..machine.model import DEFAULT_MACHINE, MachineModel
+from ..llm.personas import DEEPSEEK_V3, GPT_4O, Persona
+from ..pipeline.generation import FeedbackPipeline, PipelineResult
+from ..pipeline.looprag import (BASELINE_TIME_LIMIT, BaseLLMOptimizer,
+                                LOOPRAG_TIME_LIMIT, LoopRAG)
+from ..retrieval.retriever import Retriever
+from ..suites import Suite, lore, polybench, tsvc
+from ..synthesis.dataset import cached_dataset
+
+DEFAULT_DATASET_SIZE = 400
+DEFAULT_SEED = 0
+
+#: which base compiler each optimizing baseline rides on (§6.1)
+OPTIMIZER_BASE = {"graphite": "gcc", "polly": "clang",
+                  "perspective": "clang", "icx": "icx", "pluto": "gcc"}
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark under one system."""
+
+    suite: str
+    benchmark: str
+    system: str
+    passed: bool
+    speedup: float
+    stage_pass: Tuple[Tuple[str, bool], ...] = ()
+    stage_speedup: Tuple[Tuple[str, float], ...] = ()
+    failure: Optional[str] = None
+
+    def stage(self, name: str) -> bool:
+        return dict(self.stage_pass).get(name, self.passed)
+
+    def speedup_at(self, name: str) -> float:
+        return dict(self.stage_speedup).get(name, self.speedup)
+
+
+def _limited(suite: Suite) -> Suite:
+    limit = os.environ.get("REPRO_SUITE_LIMIT")
+    if not limit:
+        return suite
+    return Suite(suite.name, suite.benchmarks[:int(limit)])
+
+
+def suites() -> Dict[str, Suite]:
+    return {"polybench": _limited(polybench()),
+            "tsvc": _limited(tsvc()),
+            "lore": _limited(lore())}
+
+
+_RUN_CACHE: Dict[Tuple, List[BenchResult]] = {}
+_RETRIEVER_CACHE: Dict[Tuple, Retriever] = {}
+
+
+def shared_retriever(size: int = DEFAULT_DATASET_SIZE,
+                     seed: int = DEFAULT_SEED,
+                     generator: str = "looprag") -> Retriever:
+    key = (size, seed, generator)
+    if key not in _RETRIEVER_CACHE:
+        _RETRIEVER_CACHE[key] = Retriever(
+            cached_dataset(size, seed, generator))
+    return _RETRIEVER_CACHE[key]
+
+
+# ----------------------------------------------------------------------
+# LOOPRAG / base-LLM runs
+# ----------------------------------------------------------------------
+def run_looprag(suite_name: str, persona: Persona, base: str = "gcc",
+                retrieval_method: str = "loop-aware",
+                generator: str = "looprag",
+                dataset_size: int = DEFAULT_DATASET_SIZE,
+                seed: int = DEFAULT_SEED) -> List[BenchResult]:
+    """Run the full LOOPRAG pipeline over one suite."""
+    key = ("looprag", suite_name, persona.name, base, retrieval_method,
+           generator, dataset_size, seed,
+           os.environ.get("REPRO_SUITE_LIMIT"))
+    if key in _RUN_CACHE:
+        return _RUN_CACHE[key]
+    suite = suites()[suite_name]
+    retriever = shared_retriever(dataset_size, seed, generator)
+    system = LoopRAG(dataset=retriever.dataset, persona=persona,
+                     base_compiler=BASE_COMPILERS[base],
+                     retrieval_method=retrieval_method,
+                     seed=seed, retriever=retriever)
+    results = []
+    for bench in suite:
+        outcome = system.optimize(bench.program, bench.perf, bench.test)
+        results.append(BenchResult(
+            suite=suite_name, benchmark=bench.name,
+            system=f"looprag-{persona.name}-{base}",
+            passed=outcome.passed, speedup=outcome.speedup,
+            stage_pass=outcome.result.stage_pass,
+            stage_speedup=outcome.result.stage_speedup))
+    _RUN_CACHE[key] = results
+    return results
+
+
+def run_base_llm(suite_name: str, persona: Persona, base: str = "gcc",
+                 seed: int = DEFAULT_SEED) -> List[BenchResult]:
+    """Run the bare-LLM baseline (instruction prompting) over one suite."""
+    key = ("basellm", suite_name, persona.name, base, seed,
+           os.environ.get("REPRO_SUITE_LIMIT"))
+    if key in _RUN_CACHE:
+        return _RUN_CACHE[key]
+    suite = suites()[suite_name]
+    system = BaseLLMOptimizer(persona,
+                              base_compiler=BASE_COMPILERS[base],
+                              seed=seed)
+    results = []
+    for bench in suite:
+        outcome = system.optimize(bench.program, bench.perf, bench.test)
+        results.append(BenchResult(
+            suite=suite_name, benchmark=bench.name,
+            system=f"base-{persona.name}-{base}",
+            passed=outcome.passed, speedup=outcome.speedup,
+            stage_pass=outcome.result.stage_pass,
+            stage_speedup=outcome.result.stage_speedup))
+    _RUN_CACHE[key] = results
+    return results
+
+
+# ----------------------------------------------------------------------
+# compiler baselines
+# ----------------------------------------------------------------------
+def _make_optimizer(name: str) -> Optimizer:
+    return {"graphite": Graphite, "polly": Polly,
+            "perspective": Perspective, "icx": IcxOptimizer,
+            "pluto": Pluto}[name]()
+
+
+def run_compiler(suite_name: str, optimizer_name: str,
+                 time_limit: float = BASELINE_TIME_LIMIT
+                 ) -> List[BenchResult]:
+    """Run one optimizing compiler over one suite."""
+    key = ("compiler", suite_name, optimizer_name, time_limit,
+           os.environ.get("REPRO_SUITE_LIMIT"))
+    if key in _RUN_CACHE:
+        return _RUN_CACHE[key]
+    suite = suites()[suite_name]
+    optimizer = _make_optimizer(optimizer_name)
+    base = BASE_COMPILERS[OPTIMIZER_BASE[optimizer_name]]
+    machine: MachineModel = getattr(optimizer, "machine_override",
+                                    DEFAULT_MACHINE)
+    results = []
+    for bench in suite:
+        baseline = estimate_cached(base.finalize(bench.program),
+                                   bench.perf, DEFAULT_MACHINE).seconds
+        res = optimizer.optimize(bench.program, bench.perf)
+        if not res.ok:
+            results.append(BenchResult(
+                suite=suite_name, benchmark=bench.name,
+                system=optimizer_name, passed=False, speedup=0.0,
+                failure=res.failure))
+            continue
+        final = base.finalize(res.program)
+        seconds = estimate_cached(final, bench.perf, machine).seconds
+        if seconds > time_limit:
+            results.append(BenchResult(
+                suite=suite_name, benchmark=bench.name,
+                system=optimizer_name, passed=False, speedup=0.0,
+                failure=f"execution timeout ({seconds:.0f}s > "
+                        f"{time_limit:.0f}s)"))
+            continue
+        results.append(BenchResult(
+            suite=suite_name, benchmark=bench.name,
+            system=optimizer_name, passed=True,
+            speedup=baseline / seconds if seconds > 0 else 0.0))
+    _RUN_CACHE[key] = results
+    return results
+
+
+# ----------------------------------------------------------------------
+# convenience aggregations
+# ----------------------------------------------------------------------
+def speedups_by_benchmark(results: Sequence[BenchResult]
+                          ) -> Dict[str, float]:
+    return {r.benchmark: r.speedup for r in results}
+
+
+def passed_list(results: Sequence[BenchResult]) -> List[bool]:
+    return [r.passed for r in results]
+
+
+def speedup_list(results: Sequence[BenchResult]) -> List[float]:
+    return [r.speedup for r in results]

@@ -1,0 +1,39 @@
+"""Rendering of experiment results as paper-style text tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .experiments import ExperimentResult
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render one experiment as an aligned text table."""
+    header = list(result.columns)
+    body = [[_fmt(cell) for cell in row] for row in result.rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [result.title, "=" * len(result.title), line(header),
+           line(["-" * w for w in widths])]
+    out += [line(row) for row in body]
+    for note in result.notes:
+        out.append(f"note: {note}")
+    return "\n".join(out)
+
+
+def render_all(results: Sequence[ExperimentResult]) -> str:
+    return "\n\n".join(render_table(r) for r in results)

@@ -1,0 +1,192 @@
+"""Schedule trees — the hierarchical view of 2d+1 schedules (§2.1).
+
+The paper notes that loop schedules "can be represented in various forms
+(e.g., 2d+1 form and schedule tree)".  This module converts between the
+flat 2d+1 vectors the IR stores and an explicit tree:
+
+* a :class:`BandNode` is one loop dimension shared by its subtree,
+* a :class:`SequenceNode` orders children by their text constant,
+* a :class:`LeafNode` is one statement.
+
+The tree makes the program's fusion structure visible at a glance (which
+statements share which loops) and is what the property extractor's
+perfect/imperfect classification and the pretty-printer reason about
+implicitly; here it is a first-class, testable structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .program import Program
+from .schedule import ConstDim, SchedDim, TileDim
+
+
+@dataclass(frozen=True)
+class LeafNode:
+    """A single statement."""
+
+    statement: str
+
+    def statements(self) -> Tuple[str, ...]:
+        return (self.statement,)
+
+    def render(self, indent: int = 0) -> List[str]:
+        return [" " * indent + f"leaf {self.statement}"]
+
+
+@dataclass(frozen=True)
+class BandNode:
+    """One loop dimension (a band of width 1) over a subtree."""
+
+    expr: str
+    is_tile: bool
+    child: "TreeNode"
+
+    def statements(self) -> Tuple[str, ...]:
+        return self.child.statements()
+
+    def render(self, indent: int = 0) -> List[str]:
+        tag = "tile-band" if self.is_tile else "band"
+        return ([" " * indent + f"{tag} [{self.expr}]"]
+                + self.child.render(indent + 2))
+
+
+@dataclass(frozen=True)
+class SequenceNode:
+    """Children executed in order (the text constants of 2d+1)."""
+
+    children: Tuple["TreeNode", ...]
+
+    def statements(self) -> Tuple[str, ...]:
+        out: List[str] = []
+        for child in self.children:
+            out.extend(child.statements())
+        return tuple(out)
+
+    def render(self, indent: int = 0) -> List[str]:
+        lines = [" " * indent + "sequence"]
+        for child in self.children:
+            lines.extend(child.render(indent + 2))
+        return lines
+
+
+TreeNode = Union[LeafNode, BandNode, SequenceNode]
+
+
+def _signature(dim: SchedDim) -> Tuple[str, str]:
+    if isinstance(dim, ConstDim):
+        return ("const", str(dim.value))
+    if isinstance(dim, TileDim):
+        return ("tile", f"{dim.expr}/{dim.size}")
+    return ("loop", str(dim.expr))
+
+
+def schedule_tree(program: Program) -> TreeNode:
+    """Build the schedule tree of a program.
+
+    Statements sharing equal dimensions up to a level share that subtree;
+    differing constants open a sequence, differing loop expressions open
+    sibling bands.
+    """
+    schedules = program.aligned_schedules()
+    members = list(range(len(program.statements)))
+    return _build(program, schedules, members, 0)
+
+
+def _build(program: Program, schedules, members: List[int],
+           col: int) -> TreeNode:
+    width = program.schedule_width
+    if len(members) == 1 and col >= len(schedules[members[0]].dims):
+        return LeafNode(program.statements[members[0]].name)
+    if col >= width:
+        if len(members) == 1:
+            return LeafNode(program.statements[members[0]].name)
+        return SequenceNode(tuple(
+            LeafNode(program.statements[si].name) for si in members))
+
+    dims = [schedules[si].dims[col] for si in members]
+    signatures = [_signature(d) for d in dims]
+
+    if all(kind == "const" for kind, _ in signatures):
+        groups: Dict[int, List[int]] = {}
+        for si, dim in zip(members, dims):
+            groups.setdefault(dim.value, []).append(si)
+        if len(groups) == 1:
+            return _build(program, schedules, members, col + 1)
+        children = tuple(
+            _build(program, schedules, groups[value], col + 1)
+            for value in sorted(groups))
+        return SequenceNode(children)
+
+    if len(set(signatures)) == 1 and signatures[0][0] != "const":
+        kind, text = signatures[0]
+        child = _build(program, schedules, members, col + 1)
+        return BandNode(expr=text, is_tile=(kind == "tile"), child=child)
+
+    # mixed signatures at one level: group consecutive runs in list order
+    runs: List[Tuple[Tuple[str, str], List[int]]] = []
+    for si, sig in zip(members, signatures):
+        if runs and runs[-1][0] == sig:
+            runs[-1][1].append(si)
+        else:
+            runs.append((sig, [si]))
+    children = tuple(_build_run(program, schedules, run, sig, col)
+                     for sig, run in runs)
+    if len(children) == 1:
+        return children[0]
+    return SequenceNode(children)
+
+
+def _build_run(program: Program, schedules, members: List[int],
+               sig: Tuple[str, str], col: int) -> TreeNode:
+    kind, text = sig
+    if kind == "const":
+        return _build(program, schedules, members, col + 1)
+    child = _build(program, schedules, members, col + 1)
+    return BandNode(expr=text, is_tile=(kind == "tile"), child=child)
+
+
+def render_tree(program: Program) -> str:
+    """Human-readable schedule tree."""
+    return "\n".join(schedule_tree(program).render())
+
+
+def fusion_partners(program: Program) -> Dict[str, Tuple[str, ...]]:
+    """For each statement, the statements sharing its innermost band."""
+    tree = schedule_tree(program)
+    partners: Dict[str, Tuple[str, ...]] = {}
+
+    def walk(node: TreeNode, band_members: Tuple[str, ...]) -> None:
+        if isinstance(node, LeafNode):
+            partners[node.statement] = band_members
+        elif isinstance(node, BandNode):
+            walk(node.child, node.statements())
+        else:
+            for child in node.children:
+                walk(child, band_members)
+
+    walk(tree, tree.statements())
+    return partners
+
+
+def tree_depth(program: Program, statement: str) -> int:
+    """Number of bands above one statement (its loop depth in the tree)."""
+    tree = schedule_tree(program)
+
+    def walk(node: TreeNode, depth: int) -> int:
+        if isinstance(node, LeafNode):
+            return depth if node.statement == statement else -1
+        if isinstance(node, BandNode):
+            return walk(node.child, depth + 1)
+        for child in node.children:
+            found = walk(child, depth)
+            if found >= 0:
+                return found
+        return -1
+
+    found = walk(tree, 0)
+    if found < 0:
+        raise KeyError(statement)
+    return found

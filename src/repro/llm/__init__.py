@@ -1,0 +1,21 @@
+"""Simulated LLMs: prompts (Appendix E), personas, generation."""
+
+from .adapt import (Intent, intents_from_recipe, materialize,
+                    semantic_slip, syntax_slip)
+from .personas import (DEEPSEEK_V25, DEEPSEEK_V3, GPT_4O, PERSONAS,
+                       Persona)
+from .prompts import (AttemptRecord, KIND_BASE, KIND_COMPILE_FEEDBACK,
+                      KIND_DEMO, KIND_TEST_RANK_FEEDBACK, Prompt,
+                      base_prompt, compile_feedback_prompt, demo_prompt,
+                      test_rank_feedback_prompt)
+from .simulated import LLMResponse, SimulatedLLM
+
+__all__ = [
+    "Intent", "intents_from_recipe", "materialize", "semantic_slip",
+    "syntax_slip",
+    "DEEPSEEK_V25", "DEEPSEEK_V3", "GPT_4O", "PERSONAS", "Persona",
+    "AttemptRecord", "KIND_BASE", "KIND_COMPILE_FEEDBACK", "KIND_DEMO",
+    "KIND_TEST_RANK_FEEDBACK", "Prompt", "base_prompt",
+    "compile_feedback_prompt", "demo_prompt", "test_rank_feedback_prompt",
+    "LLMResponse", "SimulatedLLM",
+]

@@ -1,0 +1,127 @@
+"""Prompt construction (Appendix E).
+
+Prompt *text* is built exactly in the paper's four shapes — base,
+demonstration, compilation-feedback, and testing-results + performance-
+rankings feedback.  The simulated LLM also receives the structured payload
+(target program, demonstrations, feedback records); the text is the
+human-auditable rendering that a real LLM would consume, and examples
+print it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..ir.program import Program
+from ..retrieval.retriever import RetrievedDemo
+
+GENERATION_RULES = (
+    "Here are some generation rules: 1. Provide one optimized code. "
+    "2. Do not include the original C program in your response. "
+    "3. Do not define new function. 4. Existed variables do not need to "
+    "be redefined. If you generate new variable for computing, please "
+    "use the double type. 5. Put your code in markdown code block.")
+
+KIND_BASE = "base"
+KIND_DEMO = "demo"
+KIND_COMPILE_FEEDBACK = "compile-feedback"
+KIND_TEST_RANK_FEEDBACK = "test-rank-feedback"
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One prior candidate shown in the feedback prompt."""
+
+    index: int
+    code_text: str
+    program: Optional[Program]
+    passed: bool
+    seconds: Optional[float]
+
+
+@dataclass(frozen=True)
+class Prompt:
+    """Prompt text plus the structured payload the simulated LLM reads."""
+
+    kind: str
+    text: str
+    target: Program
+    target_text: str
+    demos: Tuple[RetrievedDemo, ...] = ()
+    compile_error: Optional[str] = None
+    last_program: Optional[Program] = None
+    attempts: Tuple[AttemptRecord, ...] = ()
+
+
+def base_prompt(target: Program, target_text: str) -> Prompt:
+    """Appendix E.1 — the baseline-LLM prompt."""
+    text = ("As a compiler, given the C program below, improve its "
+            "performance using meaning-preserving loop transformation "
+            f"methods:\n\n{target_text}\n\n{GENERATION_RULES}")
+    return Prompt(kind=KIND_BASE, text=text, target=target,
+                  target_text=target_text)
+
+
+def demo_prompt(target: Program, target_text: str,
+                demos: Sequence[RetrievedDemo]) -> Prompt:
+    """Appendix E.2 — generation step 1 with demonstrations."""
+    blocks: List[str] = []
+    for demo in demos:
+        blocks.append("// original code\n" + demo.entry.example_text)
+        blocks.append("// optimized code\n" + demo.entry.optimized_text)
+    text = ("\n\n".join(blocks)
+            + "\n\nPlease analyze what meaning-preserving loop "
+              "transformation methods are used in above examples, and "
+              "tell me what you learn.\n\n"
+              "please use appropriate methods you learn from examples to "
+              f"improve its performance:\n\n{target_text}\n\n"
+            + GENERATION_RULES)
+    return Prompt(kind=KIND_DEMO, text=text, target=target,
+                  target_text=target_text, demos=tuple(demos))
+
+
+def compile_feedback_prompt(previous: Prompt, last_code: str,
+                            last_program: Optional[Program],
+                            error: str) -> Prompt:
+    """Appendix E.3 — regenerate after a compilation error."""
+    text = (f"This optimized version:\n\n{last_code}\n\n"
+            "did a wrong transformation from the source code, resulting "
+            "in a compilation error. This is the compiler error "
+            f"message:\n\n{error}\n\n"
+            "Please check the optimized code and regenerate it.")
+    return Prompt(kind=KIND_COMPILE_FEEDBACK, text=text,
+                  target=previous.target, target_text=previous.target_text,
+                  demos=previous.demos, compile_error=error,
+                  last_program=last_program)
+
+
+def test_rank_feedback_prompt(previous: Prompt,
+                              attempts: Sequence[AttemptRecord]) -> Prompt:
+    """Appendix E.4 — testing results + performance rankings feedback."""
+    blocks: List[str] = []
+    for record in attempts:
+        label = "Available" if record.passed else "Failed"
+        blocks.append(f"{label} Example [{record.index}]:\n"
+                      + record.code_text)
+    passing = sorted((r for r in attempts if r.passed),
+                     key=lambda r: r.seconds or float("inf"))
+    rank_line = " > ".join(str(r.index) for r in passing) or "(none)"
+    failed_line = ", ".join(str(r.index) for r in attempts
+                            if not r.passed) or "(none)"
+    text = ("\n\n".join(blocks)
+            + "\n\nThe above examples are optimized by LLMs using "
+              "meaning-preserving loop transformation methods. Available "
+              "examples pass compilation, execution and equivalence "
+              "checks; failed examples do not. Here is the original "
+              f"code:\n\n{previous.target_text}\n\n"
+              f"Performance rank result (\">\" means better than):\n"
+              f"{rank_line}\nFailed: {failed_line}\n\n"
+              "Task: Analyze why available examples succeeded and failed "
+              "examples broke correctness. Improve the performance of "
+              "original code using the highest-impact meaning-preserving "
+              "loop transformation methods learnt from the ranked "
+              "examples.")
+    return Prompt(kind=KIND_TEST_RANK_FEEDBACK, text=text,
+                  target=previous.target, target_text=previous.target_text,
+                  demos=previous.demos, attempts=tuple(attempts))

@@ -1,0 +1,49 @@
+"""Machine description for the performance model.
+
+Parameters approximate the paper's testbed (2 × 24-core AMD EPYC 7352 @
+2.3 GHz, §6.1) at the granularity the cost model needs: core count,
+SIMD width, an effective per-core cache capacity, a flat miss penalty and
+a bandwidth cap on how well misses scale across cores (memory-bound loops
+do not scale to 48 threads — the reason base-LLM ``omp parallel`` on TSVC
+yields ~5-7×, not ~48×).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost-model parameters for one simulated machine."""
+
+    name: str = "epyc7352"
+    threads: int = 48
+    vector_width: int = 4
+    #: effective capacity for temporal reuse: the per-core share of
+    #: L2 + L3 on the EPYC 7352 (512 KB L2 + 128 MB L3 / 24 cores ≈ 4 MB)
+    cache_bytes: int = 4 * 1024 * 1024
+    l1_bytes: int = 32 * 1024
+    line_bytes: int = 64
+    elem_bytes: int = 8
+    freq_ghz: float = 2.3
+    cycles_per_op: float = 1.0
+    miss_penalty: float = 58.0
+    loop_overhead: float = 1.5          # per executed instance
+    tile_entry_overhead: float = 18.0   # per inner-loop entry (min/max bounds)
+    parallel_region_overhead: float = 6_000.0  # per parallel region entry
+    #: NUMA + load-imbalance efficiency across the two-socket testbed
+    parallel_efficiency: float = 0.55
+    vector_efficiency: float = 0.80
+    reduction_vector_efficiency: float = 0.55
+    mem_parallel_cap: float = 6.0       # bandwidth bound on miss scaling
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / (self.freq_ghz * 1e9)
+
+    def with_threads(self, threads: int) -> "MachineModel":
+        return replace(self, threads=threads)
+
+
+#: Default machine used across experiments unless overridden.
+DEFAULT_MACHINE = MachineModel()

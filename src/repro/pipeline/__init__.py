@@ -1,0 +1,15 @@
+"""LOOPRAG pipeline: feedback-based iterative generation + facade."""
+
+from .generation import (Candidate, DEFAULT_K, DEFAULT_TIME_LIMIT,
+                         FeedbackPipeline, ISSUE_CE, ISSUE_ET, ISSUE_IA,
+                         ISSUE_IC, ISSUE_RE, PipelineResult, STAGES)
+from .looprag import (BASELINE_TIME_LIMIT, BaseLLMOptimizer, LOOPRAG_TIME_LIMIT,
+                      LoopRAG, OptimizeOutcome)
+
+__all__ = [
+    "Candidate", "DEFAULT_K", "DEFAULT_TIME_LIMIT", "FeedbackPipeline",
+    "ISSUE_CE", "ISSUE_ET", "ISSUE_IA", "ISSUE_IC", "ISSUE_RE",
+    "PipelineResult", "STAGES",
+    "BASELINE_TIME_LIMIT", "BaseLLMOptimizer", "LOOPRAG_TIME_LIMIT",
+    "LoopRAG", "OptimizeOutcome",
+]

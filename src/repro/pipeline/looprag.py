@@ -1,0 +1,118 @@
+"""The LOOPRAG facade — one object, one ``optimize`` call.
+
+Wires together the synthesized dataset, the loop-aware retriever, a
+simulated-LLM persona, the feedback pipeline, the equivalence tester and
+the machine model, mirroring Figure 3.  ``BaseLLMOptimizer`` is the
+bare-LLM baseline of §6.2.2 (instruction prompting, no demonstrations,
+no feedback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..compilers.base import BaseCompiler, GCC
+from ..ir.program import Program
+from ..llm.personas import Persona
+from ..llm.simulated import SimulatedLLM
+from ..machine.model import DEFAULT_MACHINE, MachineModel
+from ..retrieval.retriever import Retriever
+from ..synthesis.dataset import Dataset
+from .generation import (DEFAULT_K, DEFAULT_TIME_LIMIT, FeedbackPipeline,
+                         PipelineResult)
+
+#: the paper's runtime limits: 120 s for LOOPRAG's candidates, 600 s for
+#: baseline systems (§6.1)
+LOOPRAG_TIME_LIMIT = 120.0
+BASELINE_TIME_LIMIT = 600.0
+
+
+@dataclass(frozen=True)
+class OptimizeOutcome:
+    """User-facing result of one optimization."""
+
+    result: PipelineResult
+
+    @property
+    def passed(self) -> bool:
+        return self.result.passed
+
+    @property
+    def speedup(self) -> float:
+        return self.result.speedup
+
+    @property
+    def best_program(self) -> Optional[Program]:
+        if self.result.best is None:
+            return None
+        return self.result.best.response.program
+
+    @property
+    def best_recipe(self):
+        if self.result.best is None:
+            return None
+        return self.result.best.response.applied
+
+
+class LoopRAG:
+    """Retrieval-augmented loop transformation optimizer (Figure 3)."""
+
+    def __init__(self, dataset: Dataset, persona: Persona,
+                 base_compiler: BaseCompiler = GCC,
+                 machine: MachineModel = DEFAULT_MACHINE,
+                 retrieval_method: str = "loop-aware",
+                 k: int = DEFAULT_K,
+                 time_limit: float = LOOPRAG_TIME_LIMIT,
+                 seed: int = 0,
+                 retriever: Optional[Retriever] = None) -> None:
+        self.persona = persona
+        self.retriever = retriever or Retriever(dataset)
+        self.pipeline = FeedbackPipeline(
+            retriever=self.retriever,
+            llm_factory=lambda: SimulatedLLM(persona, seed),
+            base_compiler=base_compiler,
+            machine=machine,
+            retrieval_method=retrieval_method,
+            k=k,
+            time_limit=time_limit,
+            use_feedback=True,
+            seed=seed)
+
+    def optimize(self, program: Program,
+                 perf_params: Mapping[str, int],
+                 test_params: Mapping[str, int]) -> OptimizeOutcome:
+        """Optimize one SCoP; returns the fastest verified candidate."""
+        return OptimizeOutcome(
+            self.pipeline.run(program, perf_params, test_params))
+
+
+class BaseLLMOptimizer:
+    """Bare-LLM baseline: instruction prompting only (Appendix E.1).
+
+    As a *baseline* its runtime threshold is the 600 s one (§6.1), not
+    LOOPRAG's 120 s optimization-success threshold.
+    """
+
+    def __init__(self, persona: Persona,
+                 base_compiler: BaseCompiler = GCC,
+                 machine: MachineModel = DEFAULT_MACHINE,
+                 k: int = DEFAULT_K,
+                 time_limit: float = BASELINE_TIME_LIMIT,
+                 seed: int = 0) -> None:
+        self.persona = persona
+        self.pipeline = FeedbackPipeline(
+            retriever=None,
+            llm_factory=lambda: SimulatedLLM(persona, seed),
+            base_compiler=base_compiler,
+            machine=machine,
+            k=k,
+            time_limit=time_limit,
+            use_feedback=False,
+            seed=seed)
+
+    def optimize(self, program: Program,
+                 perf_params: Mapping[str, int],
+                 test_params: Mapping[str, int]) -> OptimizeOutcome:
+        return OptimizeOutcome(
+            self.pipeline.run(program, perf_params, test_params))

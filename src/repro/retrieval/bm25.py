@@ -1,0 +1,89 @@
+"""Okapi BM25 over an in-memory inverted index.
+
+Replaces the Elasticsearch 7.13.2 deployment of §5 — BM25 is a pure
+function of the corpus (k1 = 1.2, b = 0.75, Lucene-style idf), so an
+in-process index is behaviourally identical for our corpus sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .tokenize import tokenize
+
+
+@dataclass(frozen=True)
+class ScoredDoc:
+    doc_id: int
+    score: float
+
+
+class BM25Index:
+    """Inverted index with Okapi BM25 scoring."""
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75) -> None:
+        self.k1 = k1
+        self.b = b
+        self._docs: List[Counter] = []
+        self._lengths: List[int] = []
+        self._postings: Dict[str, List[Tuple[int, int]]] = {}
+        self._avg_len = 0.0
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def add(self, text: str) -> int:
+        """Index a document; returns its id."""
+        tokens = tokenize(text)
+        counts = Counter(tokens)
+        doc_id = len(self._docs)
+        self._docs.append(counts)
+        self._lengths.append(len(tokens))
+        for term, tf in counts.items():
+            self._postings.setdefault(term, []).append((doc_id, tf))
+        total = sum(self._lengths)
+        self._avg_len = total / len(self._lengths)
+        return doc_id
+
+    def idf(self, term: str) -> float:
+        n = len(self._postings.get(term, ()))
+        if n == 0:
+            return 0.0
+        N = len(self._docs)
+        return math.log(1.0 + (N - n + 0.5) / (n + 0.5))
+
+    def score(self, query_text: str, doc_id: int) -> float:
+        """BM25 score of one document for a query."""
+        counts = self._docs[doc_id]
+        length = self._lengths[doc_id]
+        score = 0.0
+        for term in set(tokenize(query_text)):
+            tf = counts.get(term, 0)
+            if tf == 0:
+                continue
+            idf = self.idf(term)
+            denom = tf + self.k1 * (1 - self.b
+                                    + self.b * length / self._avg_len)
+            score += idf * tf * (self.k1 + 1) / denom
+        return score
+
+    def search(self, query_text: str, top_n: int = 10) -> List[ScoredDoc]:
+        """Rank all documents containing at least one query term."""
+        query_terms = set(tokenize(query_text))
+        candidates: Dict[int, float] = {}
+        for term in query_terms:
+            idf = self.idf(term)
+            if idf == 0.0:
+                continue
+            for doc_id, tf in self._postings.get(term, ()):
+                length = self._lengths[doc_id]
+                denom = tf + self.k1 * (1 - self.b + self.b * length
+                                        / self._avg_len)
+                candidates[doc_id] = candidates.get(doc_id, 0.0) + \
+                    idf * tf * (self.k1 + 1) / denom
+        ranked = sorted(candidates.items(),
+                        key=lambda kv: (-kv[1], kv[0]))[:top_n]
+        return [ScoredDoc(doc_id, score) for doc_id, score in ranked]

@@ -1,0 +1,93 @@
+"""LAScore — the loop-aware retrieval score (Eqs 1–5, §4.2).
+
+``LAScore = SB + (SF − SM) / NS_T`` where
+
+* ``SB`` is the BM25 base score (syntactic robustness),
+* ``SM`` (Eq 1) penalises a statement-count mismatch,
+* ``SF`` (Eq 4) sums per-statement, per-feature reward ``R`` (Eq 2,
+  matched features) minus penalty ``P`` (Eq 3, *extra* features in the
+  example — demonstrations of transformations the target cannot use),
+  normalised by the target's feature count.
+
+Sign convention: Eq 3 writes ``P = (Count(F_T∩F_E) − NF_E) × WP``, which
+is ≤ 0; combined with Eq 4's ``R − P`` the net effect the text describes
+("penalty applied when the example SCoP has more features") corresponds to
+subtracting ``max(0, NF_E − Count∩) × WP``, which is what we compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from .features import (FEATURE_KINDS, StatementFeatures, intersection_count)
+
+#: reward weight per feature kind (W_R in Eq 2)
+DEFAULT_REWARD_WEIGHTS: Mapping[str, float] = {
+    "schedule": 2.0, "write_index": 3.0, "read_index": 2.0}
+#: penalty weight per feature kind (W_P in Eqs 1 and 3)
+DEFAULT_PENALTY_WEIGHTS: Mapping[str, float] = {
+    "schedule": 1.0, "write_index": 1.5, "read_index": 1.0}
+
+
+@dataclass(frozen=True)
+class ScoreBreakdown:
+    """LAScore with its components, for inspection and tests."""
+
+    base: float          # SB
+    feature_score: float  # SF
+    mismatch: float       # SM
+    n_target_statements: int
+
+    @property
+    def weighted(self) -> float:
+        return (self.feature_score - self.mismatch) / max(
+            1, self.n_target_statements)
+
+    @property
+    def total(self) -> float:
+        return self.base + self.weighted
+
+
+def statement_mismatch(target: Sequence[StatementFeatures],
+                       example: Sequence[StatementFeatures],
+                       penalty_weights: Mapping[str, float]
+                       ) -> float:
+    """Eq 1: SM = |NS_T − NS_E| × Σ_j WP_j."""
+    total_wp = sum(penalty_weights.get(kind, 1.0)
+                   for kind in FEATURE_KINDS)
+    return abs(len(target) - len(example)) * total_wp
+
+
+def feature_score(target: Sequence[StatementFeatures],
+                  example: Sequence[StatementFeatures],
+                  reward_weights: Mapping[str, float],
+                  penalty_weights: Mapping[str, float]) -> float:
+    """Eqs 2–4: Σ_{i,j} (R_ij − P_ij) / NF_T_ij."""
+    total = 0.0
+    for t_feat, e_feat in zip(target, example):
+        for kind in FEATURE_KINDS:
+            t_counter = t_feat.counter(kind)
+            e_counter = e_feat.counter(kind)
+            nft = sum(t_counter.values())
+            nfe = sum(e_counter.values())
+            if nft == 0 and nfe == 0:
+                continue
+            matched = intersection_count(t_counter, e_counter)
+            reward = matched * reward_weights.get(kind, 1.0)
+            penalty = max(0, nfe - matched) * penalty_weights.get(kind, 1.0)
+            total += (reward - penalty) / max(1, nft)
+    return total
+
+
+def lascore(target: Sequence[StatementFeatures],
+            example: Sequence[StatementFeatures],
+            base_score: float,
+            reward_weights: Mapping[str, float] = DEFAULT_REWARD_WEIGHTS,
+            penalty_weights: Mapping[str, float] = DEFAULT_PENALTY_WEIGHTS,
+            ) -> ScoreBreakdown:
+    """Eq 5: LAScore = SB + (SF − SM) / NS_T."""
+    sm = statement_mismatch(target, example, penalty_weights)
+    sf = feature_score(target, example, reward_weights, penalty_weights)
+    return ScoreBreakdown(base=base_score, feature_score=sf, mismatch=sm,
+                          n_target_statements=len(target))

@@ -1,0 +1,28 @@
+"""Code tokenizer for sparse retrieval.
+
+BM25 operates on token multisets; for code, identifiers, numbers and
+operator glyphs all carry signal (§4.2 keeps BM25 as the syntactic-
+robustness base of LAScore).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN = re.compile(r"[A-Za-z_]\w*|\d+|\+=|-=|\*=|/=|<=|>=|==|[-+*/%<>=\[\]()]")
+
+#: tokens too common in loop code to discriminate anything
+_STOPWORDS = frozenset({"for", "if", "int", "double", "pragma", "scop",
+                        "endscop", "omp", "parallel", "simd"})
+
+
+def tokenize(text: str) -> List[str]:
+    """Split code text into lowercase tokens, dropping boilerplate."""
+    out: List[str] = []
+    for tok in _TOKEN.findall(text):
+        low = tok.lower()
+        if low in _STOPWORDS:
+            continue
+        out.append(low)
+    return out

@@ -1,0 +1,11 @@
+"""Execution substrate: deterministic inputs + schedule-ordered interpreter."""
+
+from .data import Storage, allocate, checksum, clone_storage, init_array
+from .interpreter import (BranchCoverage, BudgetExceededError, RunResult,
+                          RuntimeExecutionError, execute, run)
+
+__all__ = [
+    "Storage", "allocate", "checksum", "clone_storage", "init_array",
+    "BranchCoverage", "BudgetExceededError", "RunResult",
+    "RuntimeExecutionError", "execute", "run",
+]

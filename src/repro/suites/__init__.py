@@ -1,0 +1,11 @@
+"""Benchmark suites: PolyBench (30), TSVC (84), LORE (49)."""
+
+from .lore import lore
+from .polybench import FIG14_KERNELS, polybench
+from .suite import Benchmark, Suite, make_benchmark
+from .tsvc import tsvc
+
+SUITES = {"polybench": polybench, "tsvc": tsvc, "lore": lore}
+
+__all__ = ["Benchmark", "Suite", "make_benchmark", "polybench", "tsvc",
+           "lore", "SUITES", "FIG14_KERNELS"]

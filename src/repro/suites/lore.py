@@ -1,0 +1,207 @@
+"""LORE — 49 ``for``-loop nests extracted from applications (§6.1).
+
+LORE collects loop nests from benchmark suites, libraries and real-world
+applications.  The 49 SCoP-qualified nests here are modeled on the
+repository's dominant categories: dense linear-algebra fragments (BLAS-
+like), image/signal processing (convolutions, filters, histogram-free
+transforms), physics kernels (stencil updates, accumulation sweeps),
+data-reorganisation loops (transposes, packing) and scan/recurrence
+loops.  Output arrays follow the paper's rule for LORE: the written
+arrays of the SCoP are the functionally relevant ones.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from .suite import Benchmark, Suite, make_benchmark
+
+_K: List = []
+
+
+def _lore(name: str, source: str, perf, test) -> None:
+    _K.append((name, source, perf, test))
+
+
+_N1 = ({"N": 400000}, {"N": 24})
+_N2 = ({"N": 2048}, {"N": 9})
+_N3 = ({"N": 180}, {"N": 7})
+
+
+def _l1(name: str, body: str, arrays: str = "") -> None:
+    _lore(name, f"""
+    scop {name}(N) {{
+      array u[N+4] output;
+      array v[N+4];
+      array w[N+4];
+      {arrays}
+      {body}
+    }}
+    """, *_N1)
+
+
+def _l2(name: str, body: str, arrays: str = "") -> None:
+    _lore(name, f"""
+    scop {name}(N) {{
+      array P[N+4][N+4] output;
+      array Q[N+4][N+4];
+      array R[N+4][N+4];
+      array u[N+4] output;
+      array v[N+4];
+      {arrays}
+      {body}
+    }}
+    """, *_N2)
+
+
+def _l3(name: str, body: str, arrays: str = "") -> None:
+    _lore(name, f"""
+    scop {name}(N) {{
+      array V3[N+4][N+4][N+4] output;
+      array W3[N+4][N+4][N+4];
+      array P[N+4][N+4];
+      array u[N+4] output;
+      {arrays}
+      {body}
+    }}
+    """, *_N3)
+
+
+# --- dense linear algebra fragments -----------------------------------
+_l2("matvec_row", "for (i = 0; i < N; i++) for (j = 0; j < N; j++) "
+                  "u[i] += P[i][j] * v[j];")
+_l2("matvec_col", "for (i = 0; i < N; i++) for (j = 0; j < N; j++) "
+                  "u[i] += P[j][i] * v[j];")
+_l2("rank1_update", "for (i = 0; i < N; i++) for (j = 0; j < N; j++) "
+                    "P[i][j] += u[i] * v[j];")
+_l2("matmat_frag", "for (i = 0; i < N; i++) for (k = 0; k < N; k++) "
+                   "for (j = 0; j < N; j++) "
+                   "P[i][j] += Q[i][k] * R[k][j];")
+_l2("tri_solve_row", "for (i = 1; i < N; i++) for (j = 0; j < i; j++) "
+                     "u[i] -= P[i][j] * u[j];")
+_l2("diag_scale", "for (i = 0; i < N; i++) for (j = 0; j < N; j++) "
+                  "P[i][j] = P[i][j] / (Q[i][i] + 1.5);")
+_l2("outer_sub", "for (i = 0; i < N; i++) for (j = 0; j < N; j++) "
+                 "P[i][j] = Q[i][j] - u[i] * v[j];")
+_l2("sym_lower", "for (i = 0; i < N; i++) for (j = 0; j <= i; j++) "
+                 "P[i][j] = 0.5 * (Q[i][j] + Q[j][i]);")
+_l2("band_mult", "for (i = 2; i < N; i++) for (j = 2; j < N; j++) "
+                 "u[i] += P[i][j] * v[j] + P[i][j-1] * v[j-1] "
+                 "+ P[i][j-2] * v[j-2];")
+_l2("norm_rows", "for (i = 0; i < N; i++) { u[i] = 0.0; "
+                 "for (j = 0; j < N; j++) u[i] += P[i][j] * P[i][j]; "
+                 "u[i] = sqrt(u[i]); }")
+
+# --- image / signal processing -----------------------------------------
+_l2("blur3", "for (i = 1; i < N - 1; i++) for (j = 1; j < N - 1; j++) "
+             "P[i][j] = 0.1111 * (Q[i-1][j-1] + Q[i-1][j] + Q[i-1][j+1] "
+             "+ Q[i][j-1] + Q[i][j] + Q[i][j+1] "
+             "+ Q[i+1][j-1] + Q[i+1][j] + Q[i+1][j+1]);")
+_l2("sobel_x", "for (i = 1; i < N - 1; i++) for (j = 1; j < N - 1; j++) "
+               "P[i][j] = Q[i-1][j+1] - Q[i-1][j-1] "
+               "+ 2.0 * Q[i][j+1] - 2.0 * Q[i][j-1] "
+               "+ Q[i+1][j+1] - Q[i+1][j-1];")
+_l2("transpose", "for (i = 0; i < N; i++) for (j = 0; j < N; j++) "
+                 "P[i][j] = Q[j][i];")
+_l2("brightness", "for (i = 0; i < N; i++) for (j = 0; j < N; j++) "
+                  "P[i][j] = Q[i][j] * 1.2 + 10.0;")
+_l1("fir5", "for (i = 4; i < N; i++) "
+            "u[i] = 0.2 * (v[i] + v[i-1] + v[i-2] + v[i-3] + v[i-4]);")
+_l1("iir1", "for (i = 1; i < N; i++) u[i] = 0.7 * u[i-1] + 0.3 * v[i];")
+_l1("correlate", "for (i = 0; i < N - 4; i++) "
+                 "u[i] = v[i] * w[i] + v[i+1] * w[i+1] "
+                 "+ v[i+2] * w[i+2] + v[i+3] * w[i+3];")
+_l2("downsample", "for (i = 0; i < N; i++) for (j = 0; j < N; j++) "
+                  "P[i][j] = Q[i][j] + 0.5 * R[i][j];")
+_l1("window_mul", "for (i = 0; i < N; i++) u[i] = v[i] * w[i];")
+_l2("row_filter", "for (i = 0; i < N; i++) for (j = 1; j < N; j++) "
+                  "P[i][j] = 0.5 * (Q[i][j] + Q[i][j-1]);")
+_l2("col_filter", "for (i = 1; i < N; i++) for (j = 0; j < N; j++) "
+                  "P[i][j] = 0.5 * (Q[i][j] + Q[i-1][j]);")
+
+# --- physics / scientific sweeps ---------------------------------------
+_l3("stencil7_3d", "for (i = 1; i < N - 1; i++) for (j = 1; j < N - 1; j++) "
+                   "for (k = 1; k < N - 1; k++) "
+                   "V3[i][j][k] = 0.4 * W3[i][j][k] "
+                   "+ 0.1 * (W3[i-1][j][k] + W3[i+1][j][k] "
+                   "+ W3[i][j-1][k] + W3[i][j+1][k] "
+                   "+ W3[i][j][k-1] + W3[i][j][k+1]);")
+_l3("energy_sum", "for (i = 0; i < N; i++) for (j = 0; j < N; j++) "
+                  "for (k = 0; k < N; k++) "
+                  "u[i] += V3[i][j][k] * V3[i][j][k];")
+_l2("advect", "for (i = 1; i < N; i++) for (j = 1; j < N; j++) "
+              "P[i][j] = Q[i][j] - 0.2 * (Q[i][j] - Q[i-1][j]) "
+              "- 0.2 * (Q[i][j] - Q[i][j-1]);")
+_l2("pressure_rb", "for (i = 1; i < N - 1; i++) for (j = 1; j < N - 1; j++) "
+                   "P[i][j] = 0.25 * (P[i-1][j] + P[i+1][j] "
+                   "+ P[i][j-1] + P[i][j+1]);")
+_l1("verlet_pos", "for (i = 0; i < N; i++) "
+                  "u[i] += 0.01 * v[i] + 0.00005 * w[i];")
+_l1("spring_force", "for (i = 1; i < N - 1; i++) "
+                    "u[i] = 2.5 * (v[i+1] - 2.0 * v[i] + v[i-1]);")
+_l2("heat_explicit", "for (i = 1; i < N - 1; i++) "
+                     "for (j = 1; j < N - 1; j++) "
+                     "P[i][j] += 0.1 * (Q[i+1][j] + Q[i-1][j] "
+                     "+ Q[i][j+1] + Q[i][j-1] - 4.0 * Q[i][j]);")
+_l3("flux_update", "for (i = 1; i < N; i++) for (j = 1; j < N; j++) "
+                   "for (k = 1; k < N; k++) "
+                   "V3[i][j][k] += 0.3 * (W3[i-1][j][k] - W3[i][j][k]);")
+_l2("shallow_h", "for (i = 1; i < N - 1; i++) for (j = 1; j < N - 1; j++) "
+                 "P[i][j] -= 0.1 * (Q[i][j+1] - Q[i][j] "
+                 "+ R[i+1][j] - R[i][j]);")
+_l1("decay_chain", "for (i = 1; i < N; i++) "
+                   "u[i] = u[i-1] * 0.999 + v[i] * 0.001;")
+
+# --- reductions and scans ----------------------------------------------
+_l1("prefix_sum", "for (i = 1; i < N; i++) u[i] = u[i-1] + v[i];")
+_l1("dot", "for (i = 0; i < N; i++) u[0] += v[i] * w[i];")
+_l1("l2norm", "for (i = 0; i < N; i++) u[0] += v[i] * v[i];")
+_l2("row_sums", "for (i = 0; i < N; i++) for (j = 0; j < N; j++) "
+                "u[i] += P[i][j];")
+_l2("col_sums", "for (i = 0; i < N; i++) for (j = 0; j < N; j++) "
+                "u[j] += P[i][j];")
+_l2("trace_band", "for (i = 1; i < N - 1; i++) "
+                  "u[0] += P[i][i-1] + P[i][i] + P[i][i+1];")
+_l2("residual_norm", "for (i = 0; i < N; i++) { "
+                     "u[i] = v[i]; "
+                     "for (j = 0; j < N; j++) u[i] -= P[i][j] * v[j]; "
+                     "u[0] += u[i] * u[i]; }")
+
+# --- data reorganisation -------------------------------------------------
+_l1("reverse_copy", "for (i = 0; i < N; i++) u[i] = v[N-1-i];")
+_l1("strided_pack", "for (i = 0; i < N; i++) u[i] = x2[2*i];",
+    arrays="array x2[2*N+6];")
+_l1("interleave", "for (i = 0; i < N; i++) { "
+                  "x2[2*i] = v[i]; x2[2*i+1] = w[i]; }",
+    arrays="array x2[2*N+6] output;")
+_l2("pack_upper", "for (i = 0; i < N; i++) for (j = i; j < N; j++) "
+                  "P[i][j] = Q[i][j];")
+_l2("shift_rows", "for (i = 0; i < N; i++) for (j = 0; j < N; j++) "
+                  "P[i][j] = Q[i][j+1];")
+_l2("rot90_frag", "for (i = 0; i < N; i++) for (j = 0; j < N; j++) "
+                  "P[i][j] = Q[N-1-j][i];")
+_l1("gather_even", "for (i = 0; i < N; i++) u[i] = x2[2*i] + x2[2*i+1];",
+    arrays="array x2[2*N+6];")
+
+# --- mixed application fragments ----------------------------------------
+_l2("lud_frag", "for (i = 1; i < N; i++) for (j = 1; j <= i; j++) "
+                "P[i][j] -= P[i][j-1] * 0.5;")
+_l2("poly_eval2d", "for (i = 0; i < N; i++) for (j = 0; j < N; j++) "
+                   "P[i][j] = Q[i][j] * Q[i][j] * 0.3 "
+                   "+ Q[i][j] * 1.1 + 0.7;")
+_l1("exp_smooth", "for (i = 2; i < N; i++) "
+                  "u[i] = 0.5 * u[i-1] + 0.3 * u[i-2] + 0.2 * v[i];")
+_l2("waterfall", "for (i = 1; i < N; i++) { "
+                 "for (j = 0; j < N; j++) P[i][j] = P[i-1][j] * 0.9; "
+                 "for (j = 1; j < N; j++) P[i][j] += P[i][j-1] * 0.1; }")
+
+
+@lru_cache(maxsize=None)
+def lore() -> Suite:
+    """The 49-nest LORE subset."""
+    benchmarks: List[Benchmark] = []
+    for name, source, perf, test in _K:
+        benchmarks.append(make_benchmark("lore", name, source, perf, test))
+    assert len(benchmarks) == 49, f"expected 49, got {len(benchmarks)}"
+    return Suite("lore", tuple(benchmarks))

@@ -1,0 +1,632 @@
+"""PolyBench/C 4.2.1 — all 30 kernels (§6.1).
+
+Loop structure, statement count, schedules and array access patterns
+follow the PolyBench sources; sizes approximate EXTRALARGE_DATASET.
+Three systematic substitutions (kernels can only contain what a SCoP
+allows, and our DSL has no scalar temporaries):
+
+* scalar accumulators become rank-1 arrays (``nrm[k]`` instead of
+  ``nrm``) — same dependences, same locality class;
+* ``min``/``max`` reductions (floyd-warshall, nussinov) become arithmetic
+  reductions with identical access patterns and dependence structure;
+* descending loops (nussinov) are re-indexed ascending with affine
+  ``N-1-ii`` subscripts — the polyhedron is unchanged.
+
+Each substitution preserves exactly what the evaluation exercises:
+dependence shape, reuse pattern, parallelism structure.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from .suite import Benchmark, Suite, make_benchmark
+
+_K = []  # (name, source, perf, test)
+
+
+def _kernel(name, source, perf, test):
+    _K.append((name, source, perf, test))
+
+
+_kernel("gemm", """
+scop gemm(NI, NJ, NK) {
+  scalars alpha=1.5 beta=1.2;
+  array C[NI][NJ] output;
+  array A[NI][NK];
+  array B[NK][NJ];
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NJ; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < NK; k++)
+      for (j = 0; j < NJ; j++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+  }
+}
+""", {"NI": 2000, "NJ": 2300, "NK": 2600}, {"NI": 8, "NJ": 7, "NK": 6})
+
+_kernel("2mm", """
+scop two_mm(NI, NJ, NK, NL) {
+  scalars alpha=1.5 beta=1.2;
+  array tmp[NI][NJ];
+  array A[NI][NK];
+  array B[NK][NJ];
+  array C[NJ][NL];
+  array D[NI][NL] output;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NJ; j++) {
+      tmp[i][j] = 0.0;
+      for (k = 0; k < NK; k++)
+        tmp[i][j] += alpha * A[i][k] * B[k][j];
+    }
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NL; j++) {
+      D[i][j] *= beta;
+      for (k = 0; k < NJ; k++)
+        D[i][j] += tmp[i][k] * C[k][j];
+    }
+}
+""", {"NI": 1600, "NJ": 1800, "NK": 2200, "NL": 2400},
+    {"NI": 6, "NJ": 6, "NK": 5, "NL": 5})
+
+_kernel("3mm", """
+scop three_mm(NI, NJ, NK, NL, NM) {
+  array E[NI][NJ];
+  array A[NI][NK];
+  array B[NK][NJ];
+  array F[NJ][NL];
+  array C[NJ][NM];
+  array D[NM][NL];
+  array G[NI][NL] output;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NJ; j++) {
+      E[i][j] = 0.0;
+      for (k = 0; k < NK; k++)
+        E[i][j] += A[i][k] * B[k][j];
+    }
+  for (i = 0; i < NJ; i++)
+    for (j = 0; j < NL; j++) {
+      F[i][j] = 0.0;
+      for (k = 0; k < NM; k++)
+        F[i][j] += C[i][k] * D[k][j];
+    }
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NL; j++) {
+      G[i][j] = 0.0;
+      for (k = 0; k < NJ; k++)
+        G[i][j] += E[i][k] * F[k][j];
+    }
+}
+""", {"NI": 1600, "NJ": 1800, "NK": 2000, "NL": 2200, "NM": 2400},
+    {"NI": 5, "NJ": 5, "NK": 4, "NL": 4, "NM": 4})
+
+_kernel("atax", """
+scop atax(M, N) {
+  array A[M][N];
+  array x[N];
+  array y[N] output;
+  array tmp[M];
+  for (i = 0; i < N; i++)
+    y[i] = 0.0;
+  for (i = 0; i < M; i++) {
+    tmp[i] = 0.0;
+    for (j = 0; j < N; j++)
+      tmp[i] += A[i][j] * x[j];
+    for (j = 0; j < N; j++)
+      y[j] += A[i][j] * tmp[i];
+  }
+}
+""", {"M": 1800, "N": 2200}, {"M": 7, "N": 6})
+
+_kernel("bicg", """
+scop bicg(M, N) {
+  array A[N][M];
+  array s[M] output;
+  array q[N] output;
+  array p[M];
+  array r[N];
+  for (i = 0; i < M; i++)
+    s[i] = 0.0;
+  for (i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (j = 0; j < M; j++) {
+      s[j] += r[i] * A[i][j];
+      q[i] += A[i][j] * p[j];
+    }
+  }
+}
+""", {"M": 1800, "N": 2200}, {"M": 7, "N": 6})
+
+_kernel("mvt", """
+scop mvt(N) {
+  array x1[N] output;
+  array x2[N] output;
+  array y1[N];
+  array y2[N];
+  array A[N][N];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x1[i] += A[i][j] * y1[j];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x2[i] += A[j][i] * y2[j];
+}
+""", {"N": 4000}, {"N": 9})
+
+_kernel("gemver", """
+scop gemver(N) {
+  scalars alpha=1.5 beta=1.2;
+  array A[N][N];
+  array u1[N];
+  array v1[N];
+  array u2[N];
+  array v2[N];
+  array w[N] output;
+  array x[N];
+  array y[N];
+  array z[N];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      A[i][j] += u1[i] * v1[j] + u2[i] * v2[j];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x[i] += beta * A[j][i] * y[j];
+  for (i = 0; i < N; i++)
+    x[i] += z[i];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      w[i] += alpha * A[i][j] * x[j];
+}
+""", {"N": 4000}, {"N": 8})
+
+_kernel("gesummv", """
+scop gesummv(N) {
+  scalars alpha=1.5 beta=1.2;
+  array A[N][N];
+  array B[N][N];
+  array tmp[N];
+  array x[N];
+  array y[N] output;
+  for (i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      tmp[i] += A[i][j] * x[j];
+      y[i] += B[i][j] * x[j];
+    }
+    y[i] = alpha * tmp[i] + beta * y[i];
+  }
+}
+""", {"N": 2800}, {"N": 9})
+
+_kernel("syrk", """
+scop syrk(N, M) {
+  scalars alpha=1.5 beta=1.2;
+  array C[N][N] output;
+  array A[N][M];
+  for (i = 0; i < N; i++) {
+    for (j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < M; k++)
+      for (j = 0; j <= i; j++)
+        C[i][j] += alpha * A[i][k] * A[j][k];
+  }
+}
+""", {"N": 2600, "M": 2000}, {"N": 8, "M": 6})
+
+_kernel("syr2k", """
+scop syr2k(N, M) {
+  scalars alpha=1.5 beta=1.2;
+  array C[N][N] output;
+  array A[N][M];
+  array B[N][M];
+  for (i = 0; i < N; i++) {
+    for (j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < M; k++)
+      for (j = 0; j <= i; j++)
+        C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+  }
+}
+""", {"N": 2600, "M": 2000}, {"N": 8, "M": 5})
+
+_kernel("symm", """
+scop symm(M, N) {
+  scalars alpha=1.5 beta=1.2;
+  array C[M][N] output;
+  array A[M][M];
+  array B[M][N];
+  array temp2[M][N];
+  for (i = 0; i < M; i++)
+    for (j = 0; j < N; j++) {
+      temp2[i][j] = 0.0;
+      for (k = 0; k < i; k++) {
+        C[k][j] += alpha * B[i][j] * A[i][k];
+        temp2[i][j] += B[k][j] * A[i][k];
+      }
+      C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i] + alpha * temp2[i][j];
+    }
+}
+""", {"M": 2000, "N": 2600}, {"M": 7, "N": 6})
+
+_kernel("trmm", """
+scop trmm(M, N) {
+  scalars alpha=1.5;
+  array A[M][M];
+  array B[M][N] output;
+  for (i = 0; i < M; i++)
+    for (j = 0; j < N; j++) {
+      for (k = i + 1; k < M; k++)
+        B[i][j] += A[k][i] * B[k][j];
+      B[i][j] = alpha * B[i][j];
+    }
+}
+""", {"M": 2000, "N": 2600}, {"M": 7, "N": 6})
+
+_kernel("trisolv", """
+scop trisolv(N) {
+  array L[N][N];
+  array x[N] output;
+  array b[N];
+  for (i = 0; i < N; i++) {
+    x[i] = b[i];
+    for (j = 0; j < i; j++)
+      x[i] -= L[i][j] * x[j];
+    x[i] = x[i] / L[i][i];
+  }
+}
+""", {"N": 4000}, {"N": 10})
+
+_kernel("cholesky", """
+scop cholesky(N) {
+  array A[N][N] output;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < i; j++) {
+      for (k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[j][k];
+      A[i][j] = A[i][j] / A[j][j];
+    }
+    for (k = 0; k < i; k++)
+      A[i][i] -= A[i][k] * A[i][k];
+    A[i][i] = sqrt(A[i][i]);
+  }
+}
+""", {"N": 2600}, {"N": 9})
+
+_kernel("lu", """
+scop lu(N) {
+  array A[N][N] output;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < i; j++) {
+      for (k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+      A[i][j] = A[i][j] / A[j][j];
+    }
+    for (j = i; j < N; j++)
+      for (k = 0; k < i; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+  }
+}
+""", {"N": 2600}, {"N": 9})
+
+_kernel("ludcmp", """
+scop ludcmp(N) {
+  array A[N][N];
+  array b[N];
+  array x[N] output;
+  array y[N];
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < i; j++) {
+      for (k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+      A[i][j] = A[i][j] / A[j][j];
+    }
+    for (j = i; j < N; j++)
+      for (k = 0; k < i; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+  }
+  for (i = 0; i < N; i++) {
+    y[i] = b[i];
+    for (j = 0; j < i; j++)
+      y[i] -= A[i][j] * y[j];
+  }
+  for (ii = 0; ii < N; ii++) {
+    x[N-1-ii] = y[N-1-ii];
+    for (j = 0; j < ii; j++)
+      x[N-1-ii] -= A[N-1-ii][N-1-j] * x[N-1-j];
+    x[N-1-ii] = x[N-1-ii] / A[N-1-ii][N-1-ii];
+  }
+}
+""", {"N": 2600}, {"N": 8})
+
+_kernel("durbin", """
+scop durbin(N) {
+  array r[N];
+  array y[N][N] output;
+  array z[N][N];
+  for (k = 1; k < N; k++) {
+    for (i = 0; i < k; i++)
+      z[k][i] = y[k-1][i] + r[k] * y[k-1][k-1-i];
+    for (i = 0; i < k; i++)
+      y[k][i] = z[k][i];
+    y[k][k] = r[k];
+  }
+}
+""", {"N": 4000}, {"N": 9})
+
+_kernel("gramschmidt", """
+scop gramschmidt(M, N) {
+  array A[M][N] output;
+  array R[N][N];
+  array Q[M][N] output;
+  array nrm[N];
+  for (k = 0; k < N; k++) {
+    nrm[k] = 0.0;
+    for (i = 0; i < M; i++)
+      nrm[k] += A[i][k] * A[i][k];
+    R[k][k] = sqrt(nrm[k]);
+    for (i = 0; i < M; i++)
+      Q[i][k] = A[i][k] / R[k][k];
+    for (j = k + 1; j < N; j++) {
+      R[k][j] = 0.0;
+      for (i = 0; i < M; i++)
+        R[k][j] += Q[i][k] * A[i][j];
+      for (i = 0; i < M; i++)
+        A[i][j] -= Q[i][k] * R[k][j];
+    }
+  }
+}
+""", {"M": 2000, "N": 2600}, {"M": 6, "N": 5})
+
+_kernel("correlation", """
+scop correlation(M, N) {
+  array data[N][M];
+  array corr[M][M] output;
+  array mean[M];
+  array stddev[M];
+  for (j = 0; j < M; j++) {
+    mean[j] = 0.0;
+    for (i = 0; i < N; i++)
+      mean[j] += data[i][j];
+    mean[j] = mean[j] / 100.0;
+    stddev[j] = 0.0;
+    for (i = 0; i < N; i++)
+      stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+    stddev[j] = sqrt(stddev[j]) + 0.1;
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < M; j++)
+      data[i][j] = (data[i][j] - mean[j]) / stddev[j];
+  for (i = 0; i < M; i++) {
+    corr[i][i] = 1.0;
+    for (j = i + 1; j < M; j++) {
+      corr[i][j] = 0.0;
+      for (k = 0; k < N; k++)
+        corr[i][j] += data[k][i] * data[k][j];
+      corr[j][i] = corr[i][j];
+    }
+  }
+}
+""", {"M": 2600, "N": 3000}, {"M": 6, "N": 6})
+
+_kernel("covariance", """
+scop covariance(M, N) {
+  array data[N][M];
+  array cov[M][M] output;
+  array mean[M];
+  for (j = 0; j < M; j++) {
+    mean[j] = 0.0;
+    for (i = 0; i < N; i++)
+      mean[j] += data[i][j];
+    mean[j] = mean[j] / 100.0;
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < M; j++)
+      data[i][j] -= mean[j];
+  for (i = 0; i < M; i++)
+    for (j = i; j < M; j++) {
+      cov[i][j] = 0.0;
+      for (k = 0; k < N; k++)
+        cov[i][j] += data[k][i] * data[k][j];
+      cov[j][i] = cov[i][j];
+    }
+}
+""", {"M": 2600, "N": 3000}, {"M": 6, "N": 6})
+
+_kernel("doitgen", """
+scop doitgen(NR, NQ, NP) {
+  array A[NR][NQ][NP] output;
+  array C4[NP][NP];
+  array sum[NR][NQ][NP];
+  for (r = 0; r < NR; r++)
+    for (q = 0; q < NQ; q++) {
+      for (p = 0; p < NP; p++) {
+        sum[r][q][p] = 0.0;
+        for (s = 0; s < NP; s++)
+          sum[r][q][p] += A[r][q][s] * C4[s][p];
+      }
+      for (p = 0; p < NP; p++)
+        A[r][q][p] = sum[r][q][p];
+    }
+}
+""", {"NR": 220, "NQ": 250, "NP": 270}, {"NR": 4, "NQ": 4, "NP": 5})
+
+_kernel("jacobi-1d", """
+scop jacobi_1d(T, N) {
+  array A[N] output;
+  array B[N] output;
+  for (t = 0; t < T; t++) {
+    for (i = 1; i < N - 1; i++)
+      B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1]);
+    for (i = 1; i < N - 1; i++)
+      A[i] = 0.33333 * (B[i-1] + B[i] + B[i+1]);
+  }
+}
+""", {"T": 1000, "N": 400000}, {"T": 3, "N": 12})
+
+_kernel("jacobi-2d", """
+scop jacobi_2d(T, N) {
+  array A[N][N] output;
+  array B[N][N] output;
+  for (t = 0; t < T; t++) {
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        B[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][1+j] + A[1+i][j] + A[i-1][j]);
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        A[i][j] = 0.2 * (B[i][j] + B[i][j-1] + B[i][1+j] + B[1+i][j] + B[i-1][j]);
+  }
+}
+""", {"T": 1000, "N": 2800}, {"T": 2, "N": 9})
+
+_kernel("fdtd-2d", """
+scop fdtd_2d(T, NX, NY) {
+  array ex[NX][NY] output;
+  array ey[NX][NY] output;
+  array hz[NX][NY] output;
+  array fict[T];
+  for (t = 0; t < T; t++) {
+    for (j = 0; j < NY; j++)
+      ey[0][j] = fict[t];
+    for (i = 1; i < NX; i++)
+      for (j = 0; j < NY; j++)
+        ey[i][j] -= 0.5 * (hz[i][j] - hz[i-1][j]);
+    for (i = 0; i < NX; i++)
+      for (j = 1; j < NY; j++)
+        ex[i][j] -= 0.5 * (hz[i][j] - hz[i][j-1]);
+    for (i = 0; i < NX - 1; i++)
+      for (j = 0; j < NY - 1; j++)
+        hz[i][j] -= 0.7 * (ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]);
+  }
+}
+""", {"T": 1000, "NX": 2000, "NY": 2600}, {"T": 2, "NX": 8, "NY": 8})
+
+_kernel("heat-3d", """
+scop heat_3d(T, N) {
+  array A[N][N][N] output;
+  array B[N][N][N] output;
+  for (t = 0; t < T; t++) {
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        for (k = 1; k < N - 1; k++)
+          B[i][j][k] = 0.125 * (A[i+1][j][k] - 2.0 * A[i][j][k] + A[i-1][j][k])
+                     + 0.125 * (A[i][j+1][k] - 2.0 * A[i][j][k] + A[i][j-1][k])
+                     + 0.125 * (A[i][j][k+1] - 2.0 * A[i][j][k] + A[i][j][k-1])
+                     + A[i][j][k];
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        for (k = 1; k < N - 1; k++)
+          A[i][j][k] = 0.125 * (B[i+1][j][k] - 2.0 * B[i][j][k] + B[i-1][j][k])
+                     + 0.125 * (B[i][j+1][k] - 2.0 * B[i][j][k] + B[i][j-1][k])
+                     + 0.125 * (B[i][j][k+1] - 2.0 * B[i][j][k] + B[i][j][k-1])
+                     + B[i][j][k];
+  }
+}
+""", {"T": 1000, "N": 200}, {"T": 2, "N": 7})
+
+_kernel("seidel-2d", """
+scop seidel_2d(T, N) {
+  array A[N][N] output;
+  for (t = 0; t < T; t++)
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        A[i][j] = 0.2 * (A[i-1][j-1] + A[i-1][j] + A[i-1][j+1]
+                       + A[i][j-1] + A[i][j] + A[i][j+1]
+                       + A[i+1][j-1] + A[i+1][j] + A[i+1][j+1]) / 2.0;
+}
+""", {"T": 1000, "N": 4000}, {"T": 2, "N": 9})
+
+_kernel("adi", """
+scop adi(T, N) {
+  array u[N][N] output;
+  array v[N][N];
+  array p[N][N];
+  array q[N][N];
+  for (t = 1; t <= T; t++) {
+    for (i = 1; i < N - 1; i++) {
+      v[0][i] = 1.0;
+      p[i][0] = 0.0;
+      q[i][0] = 1.0;
+      for (j = 1; j < N - 1; j++) {
+        p[i][j] = 0.5 * p[i][j-1] + 0.25;
+        q[i][j] = u[j][i-1] - u[j][i] * 0.5 + q[i][j-1] * 0.3;
+      }
+      for (jj = 1; jj < N - 1; jj++)
+        v[N-1-jj][i] = p[i][N-1-jj] * v[N-jj][i] + q[i][N-1-jj];
+    }
+    for (i = 1; i < N - 1; i++) {
+      u[i][0] = 1.0;
+      p[i][0] = 0.0;
+      q[i][0] = 1.0;
+      for (j = 1; j < N - 1; j++) {
+        p[i][j] = 0.5 * p[i][j-1] + 0.25;
+        q[i][j] = v[i-1][j] - v[i][j] * 0.5 + q[i][j-1] * 0.3;
+      }
+      for (jj = 1; jj < N - 1; jj++)
+        u[i][N-1-jj] = p[i][N-1-jj] * u[i][N-jj] + q[i][N-1-jj];
+    }
+  }
+}
+""", {"T": 1000, "N": 2000}, {"T": 2, "N": 8})
+
+_kernel("floyd-warshall", """
+scop floyd_warshall(N) {
+  array paths[N][N] output;
+  for (k = 0; k < N; k++)
+    for (i = 0; i < N; i++)
+      for (j = 0; j < N; j++)
+        paths[i][j] += 0.001 * paths[i][k] * paths[k][j];
+}
+""", {"N": 2800}, {"N": 9})
+
+_kernel("nussinov", """
+scop nussinov(N) {
+  array table[N][N] output;
+  array seq[N];
+  for (ii = 1; ii < N; ii++)
+    for (j = N - ii; j < N; j++) {
+      table[N-1-ii][j] += table[N-ii][j] * 0.5;
+      table[N-1-ii][j] += table[N-1-ii][j-1] * 0.5;
+      table[N-1-ii][j] += seq[j] * 0.01;
+    }
+}
+""", {"N": 2800}, {"N": 8})
+
+_kernel("deriche", """
+scop deriche(W, H) {
+  scalars a1=0.25 a2=0.15 b1=0.6;
+  array imgIn[W][H];
+  array imgOut[W][H] output;
+  array y1[W][H];
+  array y2[W][H];
+  for (i = 0; i < W; i++) {
+    y1[i][0] = a1 * imgIn[i][0];
+    for (j = 1; j < H; j++)
+      y1[i][j] = a1 * imgIn[i][j] + b1 * y1[i][j-1];
+  }
+  for (i = 0; i < W; i++) {
+    y2[i][H-1] = 0.0;
+    for (jj = 1; jj < H; jj++)
+      y2[i][H-1-jj] = a2 * imgIn[i][H-jj] + b1 * y2[i][H-jj];
+  }
+  for (i = 0; i < W; i++)
+    for (j = 0; j < H; j++)
+      imgOut[i][j] = y1[i][j] + y2[i][j];
+}
+""", {"W": 7680, "H": 4320}, {"W": 7, "H": 7})
+
+#: the subset Figure 14 plots (plus the Appendix G/H case studies)
+FIG14_KERNELS = ("gemm", "syrk", "jacobi-2d", "fdtd-2d", "heat-3d",
+                 "jacobi-1d", "mvt", "atax")
+
+
+@lru_cache(maxsize=None)
+def polybench() -> Suite:
+    """The 30-kernel PolyBench suite."""
+    benchmarks: List[Benchmark] = []
+    for name, source, perf, test in _K:
+        benchmarks.append(make_benchmark("polybench", name, source,
+                                         perf, test))
+    assert len(benchmarks) == 30, f"expected 30, got {len(benchmarks)}"
+    return Suite("polybench", tuple(benchmarks))

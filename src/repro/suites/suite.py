@@ -1,0 +1,74 @@
+"""Benchmark suite containers.
+
+Each benchmark carries two parameter bindings: ``perf_params`` (the
+paper's EXTRALARGE / default sizes — consumed by the analytical machine
+model, which never enumerates iterations) and ``test_params`` (small
+sizes for the interpreter-based differential testing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..ir.parser import parse_scop
+from ..ir.program import Program
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One kernel of one suite."""
+
+    name: str
+    suite: str
+    program: Program
+    perf_params: Tuple[Tuple[str, int], ...]
+    test_params: Tuple[Tuple[str, int], ...]
+
+    @property
+    def perf(self) -> Dict[str, int]:
+        return dict(self.perf_params)
+
+    @property
+    def test(self) -> Dict[str, int]:
+        return dict(self.test_params)
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named collection of benchmarks."""
+
+    name: str
+    benchmarks: Tuple[Benchmark, ...]
+
+    def __len__(self) -> int:
+        return len(self.benchmarks)
+
+    def __iter__(self):
+        return iter(self.benchmarks)
+
+    def get(self, name: str) -> Benchmark:
+        for bench in self.benchmarks:
+            if bench.name == name:
+                return bench
+        raise KeyError(name)
+
+    def names(self) -> List[str]:
+        return [b.name for b in self.benchmarks]
+
+    def subset(self, names: Sequence[str]) -> "Suite":
+        wanted = set(names)
+        return Suite(self.name, tuple(
+            b for b in self.benchmarks if b.name in wanted))
+
+
+def make_benchmark(suite: str, name: str, source: str,
+                   perf: Dict[str, int], test: Dict[str, int],
+                   tags: Sequence[str] = ()) -> Benchmark:
+    """Parse one kernel and wrap it."""
+    program = parse_scop(source)
+    if tags:
+        program = program.with_tags(*tags)
+    return Benchmark(name=name, suite=suite, program=program,
+                     perf_params=tuple(sorted(perf.items())),
+                     test_params=tuple(sorted(test.items())))

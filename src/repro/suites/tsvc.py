@@ -1,0 +1,280 @@
+"""TSVC — the 84 SCoP-compatible vectorization kernels (§6.1).
+
+TSVC has 149 loops; the paper keeps the 84 that satisfy SCoP requirements
+(no data-dependent control flow, no indirect addressing, no induction
+rewrites).  The kernels here follow the TSVC families: linear dependence
+testing (s1xx), induction-free rewrites (s12x), distribution (s13x),
+statement reordering / interchange (s2xx — including ``s233`` and
+``s319``, the paper's extreme-speedup outliers of Appendix F), node
+splitting (s24x), scalar/array expansion (s25x), reductions (s31x),
+recurrences (s32x), and the v* micro-kernels.
+
+Downward loops are re-indexed ascending (``LEN-1-i`` subscripts) and
+scalar reductions accumulate into one-element rows of a ``sum`` array —
+the same SCoP-ification Clan forces on the C originals.
+
+Every kernel calls ``dummy()`` once per outer iteration in the original
+suite; programs are tagged ``dummy-call`` + ``pure-annotated``
+(Appendix C), which lets Polly detect the SCoP while Graphite's DCE
+breaks — the reason Graphite is excluded from TSVC comparisons.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from .suite import Benchmark, Suite, make_benchmark
+
+#: the suite's default sizes (§6.1 uses TSVC defaults): LEN = 32000 keeps
+#: the 1-D working set cache-resident on the modeled machine — the warm
+#: measurement regime behind TSVC's compute-bound speedups
+_PERF_1D = {"LEN": 32000}
+_TEST_1D = {"LEN": 26}
+_PERF_2D = {"LEN2": 256}
+_TEST_2D = {"LEN2": 9}
+
+_TAGS = ("dummy-call", "pure-annotated")
+
+_K: List = []
+
+
+def _d1(name: str, body: str, extra_arrays: str = "") -> None:
+    """A one-dimensional kernel over the standard a..e arrays."""
+    source = f"""
+    scop {name.replace('-', '_')}(LEN) {{
+      array a[LEN+2] output;
+      array b[LEN+2];
+      array c[LEN+2];
+      array d[LEN+2];
+      array e[LEN+2];
+      array sum[4] output;
+      {extra_arrays}
+      {body}
+    }}
+    """
+    _K.append((name, source, _PERF_1D, _TEST_1D))
+
+
+def _d2(name: str, body: str, extra_arrays: str = "") -> None:
+    """A two-dimensional kernel over the aa/bb/cc arrays."""
+    source = f"""
+    scop {name.replace('-', '_')}(LEN2) {{
+      array aa[LEN2+2][LEN2+2] output;
+      array bb[LEN2+2][LEN2+2];
+      array cc[LEN2+2][LEN2+2];
+      array a[LEN2+2] output;
+      array b[LEN2+2];
+      {extra_arrays}
+      {body}
+    }}
+    """
+    _K.append((name, source, _PERF_2D, _TEST_2D))
+
+
+# ----------------------------------------------------------------------
+# linear dependence testing
+# ----------------------------------------------------------------------
+_d1("s000", "for (i = 0; i < LEN; i++) a[i] = b[i] + 1.0;")
+_d1("s111", "for (i = 0; i < LEN; i++) x2[2*i+1] = x2[2*i] + b[i];",
+    extra_arrays="array x2[2*LEN+4] output;")
+_d1("s112", "for (i = 0; i < LEN - 1; i++) "
+            "a[LEN-i] = a[LEN-1-i] + b[LEN-1-i];")
+_d1("s113", "for (i = 1; i < LEN; i++) a[i] = a[1] + b[i];")
+_d2("s114", "for (i = 0; i < LEN2; i++) for (j = 0; j < i; j++) "
+            "aa[i][j] = aa[j][i] + bb[i][j];")
+_d2("s115", "for (j = 0; j < LEN2; j++) for (i = j + 1; i < LEN2; i++) "
+            "a[i] -= aa[j][i] * a[j];")
+_d1("s116", "for (i = 0; i < LEN - 5; i++) a[i] = a[i+1] * a[i];")
+_d2("s118", "for (i = 1; i < LEN2; i++) for (j = 0; j <= i - 1; j++) "
+            "a[i] += bb[j][i] * a[i-j-1];")
+_d2("s119", "for (i = 1; i < LEN2; i++) for (j = 1; j < LEN2; j++) "
+            "aa[i][j] = aa[i-1][j-1] + bb[i][j];")
+_d1("s1111", "for (i = 0; i < LEN; i++) "
+             "x2[2*i] = c[i] * b[i] + d[i] * b[i] + c[i] * c[i];",
+    extra_arrays="array x2[2*LEN+4] output;")
+_d1("s1112", "for (i = 0; i < LEN; i++) a[LEN-1-i] = b[LEN-1-i] + 1.0;")
+_d1("s1113", "for (i = 2; i < LEN; i++) a[i] = a[2] + b[i];")
+_d2("s1115", "for (i = 0; i < LEN2; i++) for (j = 0; j < LEN2; j++) "
+             "aa[i][j] = aa[i][j] * cc[j][i] + bb[i][j];")
+_d1("s1119", "for (i = 1; i < LEN; i++) a[i] = a[i-1] + b[i] * b[i];")
+
+# ----------------------------------------------------------------------
+# induction-free rewrites / global data flow
+# ----------------------------------------------------------------------
+_d1("s121", "for (i = 0; i < LEN - 1; i++) a[i] = a[i+1] + b[i];")
+_d1("s122", "for (i = 1; i < LEN; i++) a[LEN-i] += b[i];")
+_d1("s1221", "for (i = 4; i < LEN; i++) b[i] = b[i-4] + a[i];")
+_d2("s125", "for (i = 0; i < LEN2; i++) for (j = 0; j < LEN2; j++) "
+            "aa[i][j] = cc[i][j] * bb[i][j] + 1.0;")
+_d2("s126", "for (i = 0; i < LEN2; i++) for (j = 1; j < LEN2; j++) "
+            "bb[j][i] = bb[j-1][i] + cc[j][i];")
+_d1("s127", "for (i = 0; i < LEN; i++) "
+            "x2[2*i] = c[i] + b[i]; "
+            "for (i = 0; i < LEN; i++) x2[2*i+1] = d[i] * e[i];",
+    extra_arrays="array x2[2*LEN+4] output;")
+_d1("s128", "for (i = 0; i < LEN; i++) { "
+            "b[i] = x2[2*i] * d[i]; x2[2*i+1] = b[i] + e[i]; }",
+    extra_arrays="array x2[2*LEN+4] output;")
+
+# ----------------------------------------------------------------------
+# loop distribution / fusion candidates
+# ----------------------------------------------------------------------
+_d1("s131", "for (i = 0; i < LEN - 1; i++) a[i] = a[i+1] + b[i];")
+_d2("s132", "for (j = 1; j < LEN2; j++) for (i = 0; i < LEN2; i++) "
+            "aa[j][i] = aa[j-1][i+1] + b[i];")
+_d1("s141", "for (i = 0; i < LEN; i++) { "
+            "a[i] = b[i] + c[i] * d[i]; b[i] = a[i] + d[i]; }")
+_d2("s151", "for (i = 0; i < LEN2; i++) for (j = 0; j < LEN2; j++) "
+            "aa[i][j] = bb[i][j] * 2.0 + cc[i][j];")
+_d1("s152", "for (i = 0; i < LEN; i++) { "
+            "b[i] = d[i] * e[i]; a[i] += b[i] * c[i]; }")
+_d1("s161", "for (i = 0; i < LEN - 1; i++) { "
+            "a[i] = c[i] + d[i]; b[i] = a[i+1] * d[i]; }")
+
+# ----------------------------------------------------------------------
+# symbolic strides / convolution
+# ----------------------------------------------------------------------
+_d1("s171", "for (i = 0; i < LEN; i++) x2[2*i] += b[i];",
+    extra_arrays="array x2[2*LEN+4] output;")
+_d1("s172", "for (i = 0; i < LEN; i++) a[i] += x2[2*i];",
+    extra_arrays="array x2[2*LEN+4];")
+_d1("s173", "for (i = 0; i < LEN; i++) a[i+1] = a[i] * 0.5 + b[i];")
+_d1("s174", "for (i = 0; i < LEN; i++) a[i] = b[i] * b[i];")
+_d1("s175", "for (i = 0; i < LEN - 2; i++) a[i] = a[i+2] + b[i];")
+_d2("s176", "for (j = 0; j < LEN2; j++) for (i = 0; i < LEN2; i++) "
+            "a[i] += bb[j][i] * m2[LEN2+i-j-1];",
+    extra_arrays="array m2[2*LEN2+4];")
+
+# ----------------------------------------------------------------------
+# statement reordering / loop interchange (the s23x outliers)
+# ----------------------------------------------------------------------
+_d1("s211", "for (i = 1; i < LEN - 1; i++) { "
+            "a[i] = b[i-1] + c[i] * d[i]; b[i] = b[i+1] - e[i] * d[i]; }")
+_d1("s212", "for (i = 0; i < LEN - 1; i++) { "
+            "a[i] *= c[i]; b[i] += a[i+1] * d[i]; }")
+_d1("s221", "for (i = 1; i < LEN; i++) { "
+            "a[i] += c[i] * d[i]; b[i] = b[i-1] + a[i] + d[i]; }")
+_d1("s222", "for (i = 1; i < LEN; i++) { "
+            "a[i] += b[i] * c[i]; e[i] = e[i-1] * e[i-1]; a[i] -= b[i] * c[i]; }")
+_d2("s231", "for (i = 0; i < LEN2; i++) for (j = 1; j < LEN2; j++) "
+            "aa[j][i] = aa[j-1][i] + bb[j][i];")
+_d2("s232", "for (j = 1; j < LEN2; j++) for (i = 1; i <= j; i++) "
+            "aa[j][i] = aa[j][i-1] * aa[j][i-1] + bb[j][i];")
+_d2("s233", "for (i = 1; i < LEN2; i++) { "
+            "for (j = 1; j < LEN2; j++) "
+            "aa[j][i] = aa[j-1][i] + cc[j][i]; "
+            "for (j = 1; j < LEN2; j++) "
+            "bb[j][i] = bb[j][i-1] + cc[j][i]; }")
+_d2("s2233", "for (i = 1; i < LEN2; i++) { "
+             "for (j = 1; j < LEN2; j++) "
+             "aa[j][i] = aa[j-1][i] + cc[j][i]; "
+             "for (j = 1; j < LEN2; j++) "
+             "bb[i][j] = bb[i-1][j] + cc[i][j]; }")
+_d2("s235", "for (i = 0; i < LEN2; i++) { "
+            "a[i] += b[i] * a[i]; "
+            "for (j = 1; j < LEN2; j++) "
+            "aa[j][i] = aa[j-1][i] + bb[j][i] * a[i]; }")
+
+# ----------------------------------------------------------------------
+# node splitting
+# ----------------------------------------------------------------------
+_d1("s241", "for (i = 0; i < LEN - 1; i++) { "
+            "a[i] = b[i] * c[i] * d[i]; b[i] = a[i] * a[i+1] * d[i]; }")
+_d1("s242", "for (i = 1; i < LEN; i++) "
+            "a[i] = a[i-1] + 1.0 + 2.0 + b[i] + c[i] + d[i];")
+_d1("s243", "for (i = 0; i < LEN - 1; i++) { "
+            "a[i] = b[i] + c[i] * d[i]; b[i] = a[i] + d[i] * e[i]; "
+            "a[i] = b[i] + a[i+1] * d[i]; }")
+_d1("s244", "for (i = 0; i < LEN - 1; i++) { "
+            "a[i] = b[i] + c[i] * d[i]; b[i] = c[i] + b[i]; "
+            "a[i+1] = b[i] + a[i+1] * d[i]; }")
+
+# ----------------------------------------------------------------------
+# scalar / array expansion
+# ----------------------------------------------------------------------
+_d1("s251", "for (i = 0; i < LEN; i++) { "
+            "b[i] = a[i] + d[i]; a[i] = b[i] * c[i]; }")
+_d1("s252", "for (i = 1; i < LEN; i++) { "
+            "b[i] = a[i] * a[i-1] + c[i]; a[i] = b[i] + d[i]; }")
+_d1("s253", "for (i = 0; i < LEN; i++) { "
+            "c[i] = a[i] - b[i]; a[i] = c[i] * d[i]; }")
+_d1("s254", "for (i = 1; i < LEN; i++) a[i] = (b[i] + b[i-1]) * 0.5;")
+_d1("s255", "for (i = 2; i < LEN; i++) "
+            "a[i] = (b[i] + b[i-1] + b[i-2]) * 0.333;")
+_d2("s256", "for (i = 0; i < LEN2; i++) for (j = 1; j < LEN2; j++) { "
+            "a[j] = aa[j][i] - a[j-1]; "
+            "aa[j][i] = a[j] + bb[j][i]; }")
+_d2("s257", "for (i = 1; i < LEN2; i++) for (j = 0; j < LEN2; j++) { "
+            "a[i] = aa[j][i] - a[i-1]; aa[j][i] = a[i] + bb[j][i]; }")
+
+# ----------------------------------------------------------------------
+# reductions (scalar sums live in sum[·])
+# ----------------------------------------------------------------------
+_d1("s311", "for (i = 0; i < LEN; i++) sum[0] += a[i];")
+_d1("s312", "for (i = 0; i < LEN; i++) sum[0] *= a[i];")
+_d1("s313", "for (i = 0; i < LEN; i++) sum[0] += a[i] * b[i];")
+_d1("s316", "for (i = 0; i < LEN; i++) sum[0] -= a[i] * 0.5;")
+_d1("s318", "for (i = 0; i < LEN; i++) sum[0] += a[i] * a[i];")
+_d1("s319", "for (i = 0; i < LEN; i++) { "
+            "a[i] = c[i] + d[i]; sum[0] += a[i]; "
+            "b[i] = c[i] + e[i]; sum[1] += b[i]; }")
+_d2("s3110", "for (i = 0; i < LEN2; i++) for (j = 0; j < LEN2; j++) "
+             "a[i] += aa[i][j];")
+_d2("s3111", "for (i = 0; i < LEN2; i++) for (j = 0; j < LEN2; j++) "
+             "a[j] += aa[i][j];")
+_d1("s3112", "for (i = 1; i < LEN; i++) b[i] = b[i-1] + a[i];")
+_d1("s3113", "for (i = 0; i < LEN; i++) sum[0] += a[i] + b[i] * c[i];")
+
+# ----------------------------------------------------------------------
+# recurrences
+# ----------------------------------------------------------------------
+_d1("s321", "for (i = 1; i < LEN; i++) a[i] += a[i-1] * b[i];")
+_d1("s322", "for (i = 2; i < LEN; i++) "
+            "a[i] = a[i] + a[i-1] * b[i] + a[i-2] * c[i];")
+_d1("s323", "for (i = 1; i < LEN; i++) { "
+            "a[i] = b[i-1] + c[i] * d[i]; b[i] = a[i] + c[i] * e[i]; }")
+
+# ----------------------------------------------------------------------
+# loop rerolling / micro kernels
+# ----------------------------------------------------------------------
+_d1("s351", "for (i = 0; i < LEN; i++) a[i] = b[i] * 5.0 + c[i];")
+_d1("vas", "for (i = 0; i < LEN; i++) a[i] = b[i] + 1.5;")
+_d1("vpv", "for (i = 0; i < LEN; i++) a[i] += b[i];")
+_d1("vtv", "for (i = 0; i < LEN; i++) a[i] *= b[i];")
+_d1("vpvtv", "for (i = 0; i < LEN; i++) a[i] += b[i] * c[i];")
+_d1("vpvts", "for (i = 0; i < LEN; i++) a[i] += b[i] * 3.14159;")
+_d1("vpvpv", "for (i = 0; i < LEN; i++) a[i] += b[i] + c[i];")
+_d1("vtvtv", "for (i = 0; i < LEN; i++) a[i] = a[i] * b[i] * c[i];")
+_d1("vsumr", "for (i = 0; i < LEN; i++) sum[0] += a[i];")
+_d1("vdotr", "for (i = 0; i < LEN; i++) sum[0] += a[i] * b[i];")
+_d2("vbor", "for (i = 0; i < LEN2; i++) for (j = 0; j < LEN2; j++) "
+            "a[i] += aa[i][j] * bb[i][j] + aa[i][j] * cc[i][j] "
+            "+ bb[i][j] * cc[i][j];")
+
+# ----------------------------------------------------------------------
+# 2D sweeps and mixed-depth kernels rounding out the SCoP subset
+# ----------------------------------------------------------------------
+_d2("s2101", "for (i = 0; i < LEN2; i++) aa[i][i] += 2.0 * bb[i][i];")
+_d2("s2102", "for (i = 0; i < LEN2; i++) { aa[i][i] = 1.0; "
+             "for (j = 0; j < i; j++) aa[i][j] = 0.5 * bb[i][j]; }")
+_d2("s2111", "for (j = 1; j < LEN2; j++) for (i = 1; i < LEN2; i++) "
+             "aa[j][i] = (aa[j][i-1] + aa[j-1][i]) * 0.5;")
+_d2("s2275", "for (i = 0; i < LEN2; i++) { "
+             "for (j = 0; j < LEN2; j++) "
+             "aa[j][i] = aa[j][i] + bb[j][i] * cc[j][i]; "
+             "a[i] = b[i] + a[i] * 2.0; }")
+_d1("vif2", "for (i = 1; i < LEN; i++) if (i >= 2) a[i] = b[i] + c[i];")
+_d1("s481", "for (i = 0; i < LEN; i++) a[i] -= b[i] * c[i];")
+_d1("s482", "for (i = 0; i < LEN; i++) a[i] += b[i] * c[i] + d[i] * e[i];")
+
+
+@lru_cache(maxsize=None)
+def tsvc() -> Suite:
+    """The 84-kernel TSVC SCoP subset."""
+    benchmarks: List[Benchmark] = []
+    for name, source, perf, test in _K:
+        benchmarks.append(make_benchmark("tsvc", name, source, perf, test,
+                                         tags=_TAGS))
+    assert len(benchmarks) == 84, f"expected 84, got {len(benchmarks)}"
+    return Suite("tsvc", tuple(benchmarks))

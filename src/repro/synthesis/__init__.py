@@ -1,0 +1,18 @@
+"""Dataset synthesis: the parameter-driven generator and baselines."""
+
+from .colagen import ColaGenSynthesizer
+from .dataset import (DATASET_PARAMS, DEFAULT_DATASET_SIZE, Dataset,
+                      DatasetEntry, build_dataset, cached_dataset,
+                      transformation_kinds)
+from .generator import ExampleSynthesizer, SynthesisError
+from .parameters import NAME_LIST, SIZE_LIST, LoopParameters
+from .store import load_dataset, save_dataset
+
+__all__ = [
+    "ColaGenSynthesizer",
+    "DATASET_PARAMS", "DEFAULT_DATASET_SIZE", "Dataset", "DatasetEntry",
+    "build_dataset", "cached_dataset", "transformation_kinds",
+    "ExampleSynthesizer", "SynthesisError",
+    "NAME_LIST", "SIZE_LIST", "LoopParameters",
+    "load_dataset", "save_dataset",
+]

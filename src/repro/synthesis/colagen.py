@@ -1,0 +1,70 @@
+"""COLA-Gen baseline generator (§6.4.1 / Table 4 / Figure 9).
+
+COLA-Gen mutates only loop depth and the number of arrays; under its
+default settings it produces a *single statement* inside a *perfect*
+depth-2 nest with exactly one array read and a loop-carried dependence.
+Because there is never a second statement, its corpus cannot trigger loop
+fusion, distribution or shifting, and its property distributions collapse
+into one or two clusters — the contrast LOOPRAG's parameter-driven method
+is evaluated against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..ir.affine import aff, var
+from ..ir.domain import Domain, IterSpec
+from ..ir.expr import Assignment, Bin, Const, Ref
+from ..ir.program import ArrayDecl, Program, make_program
+from ..ir.schedule import Schedule
+from ..ir.statement import Statement
+from .parameters import NAME_LIST, LoopParameters
+
+_PARAM = "N"
+
+
+class ColaGenSynthesizer:
+    """Single-statement perfect-nest generator."""
+
+    def __init__(self, base_seed: int = 0) -> None:
+        self.base_seed = base_seed
+
+    def synthesize(self, index: int) -> Program:
+        rng = random.Random(f"colagen/{self.base_seed}/{index}")
+        params = LoopParameters.colagen_defaults(rng)
+        margin = params.dep_distance
+        iters = ["i1", "i2"]
+        specs = [IterSpec(name, (aff(margin),),
+                          (var(_PARAM) - (1 + margin),))
+                 for name in iters]
+        domain = Domain(tuple(specs))
+        schedule = Schedule.canonical(iters, [0, 0, 0])
+
+        target = NAME_LIST[0]
+        # a third of the corpus stores transposed, which makes interchange
+        # profitable — one of the three kinds COLA-Gen triggers (Table 4)
+        transposed = rng.random() < 0.33
+        first, second = ("i2", "i1") if transposed else ("i1", "i2")
+        lhs = Ref(target, (var(first), var(second)))
+        # the loop-carried dependence COLA-Gen always produces; an
+        # anti-diagonal distance makes rectangular tiling illegal and
+        # triggers PLuTo's skewing fallback (Table 4's skewing column)
+        d1 = rng.randint(1, params.dep_distance)
+        d2 = rng.choice((-1, 0, 1)) * rng.randint(0, params.dep_distance)
+        carried = Ref(target, (var(first) - d1, var(second) + d2))
+        rhs = carried
+        extra_arrays: List[str] = []
+        for extra in range(params.array_list - 1):
+            name = NAME_LIST[1 + extra]
+            extra_arrays.append(name)
+            rhs = Bin("+", rhs, Ref(name, (var("i1"), var("i2"))))
+        rhs = Bin("+", rhs, Const(float(rng.randint(1, 9))))
+
+        stmt = Statement(name="S1", domain=domain, schedule=schedule,
+                         body=Assignment(lhs, "=", rhs))
+        decls = [ArrayDecl(name, (var(_PARAM), var(_PARAM)))
+                 for name in [target] + extra_arrays]
+        return make_program(f"cola{index:06d}", (_PARAM,), decls, [stmt],
+                            outputs=[target])

@@ -1,0 +1,126 @@
+"""Dataset construction: (example, optimized version, data flow) triples.
+
+Mirrors Figure 5's flow: the code generator synthesizes example codes, the
+optimization compiler (PLuTo) produces optimized versions + the applied
+recipe, and the analyzers (our dependence/property extraction standing in
+for Clan + CAnDL) contribute the data-flow information.  Entries carry the
+pseudo-C text of both versions — that text is what BM25 indexes and what
+demonstration prompts show.
+
+The paper synthesizes 135,364 examples; the generator here is the same
+algorithm, only the default corpus size is scaled down (DESIGN.md) and is
+configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..analysis.properties import LoopProperties, extract_properties
+from ..codegen import scop_body_to_c
+from ..compilers.pluto import Pluto
+from ..ir.program import Program
+from ..transforms import TransformRecipe
+from .colagen import ColaGenSynthesizer
+from .generator import ExampleSynthesizer, SynthesisError
+
+#: parameter binding used when PLuTo optimizes examples (the paper's
+#: -custom-context global-parameter specification)
+DATASET_PARAMS = {"N": 1500}
+
+DEFAULT_DATASET_SIZE = 300
+
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    """One (example, optimized, dataflow) triple."""
+
+    name: str
+    example: Program
+    example_text: str
+    optimized: Program
+    optimized_text: str
+    recipe: TransformRecipe
+    properties: LoopProperties
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An indexed corpus of demonstration candidates."""
+
+    entries: tuple
+    generator: str
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __getitem__(self, idx: int) -> DatasetEntry:
+        return self.entries[idx]
+
+
+def build_dataset(size: int = DEFAULT_DATASET_SIZE, seed: int = 0,
+                  generator: str = "looprag",
+                  optimizer: Optional[Pluto] = None,
+                  progress: Optional[Callable[[int], None]] = None
+                  ) -> Dataset:
+    """Synthesize ``size`` examples and optimize each with PLuTo."""
+    if generator == "looprag":
+        synth = ExampleSynthesizer(base_seed=seed)
+        make = synth.synthesize
+    elif generator == "colagen":
+        cola = ColaGenSynthesizer(base_seed=seed)
+        make = cola.synthesize
+    else:
+        raise ValueError(f"unknown generator {generator!r}")
+    pluto = optimizer or Pluto()
+
+    entries: List[DatasetEntry] = []
+    index = 0
+    while len(entries) < size and index < size * 3:
+        index += 1
+        try:
+            example = make(index)
+        except SynthesisError:
+            continue
+        result = pluto.optimize(example, DATASET_PARAMS)
+        if not result.ok:
+            continue
+        props = extract_properties(example)
+        entries.append(DatasetEntry(
+            name=example.name,
+            example=example,
+            example_text=scop_body_to_c(example),
+            optimized=result.program,
+            optimized_text=scop_body_to_c(result.program),
+            recipe=result.recipe,
+            properties=props,
+        ))
+        if progress is not None:
+            progress(len(entries))
+    return Dataset(entries=tuple(entries), generator=generator, seed=seed)
+
+
+_DATASET_CACHE = {}
+
+
+def cached_dataset(size: int = DEFAULT_DATASET_SIZE, seed: int = 0,
+                   generator: str = "looprag") -> Dataset:
+    """Session-cached :func:`build_dataset` (experiments share corpora)."""
+    key = (size, seed, generator)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = build_dataset(size, seed, generator)
+    return _DATASET_CACHE[key]
+
+
+def transformation_kinds(dataset: Dataset) -> dict:
+    """Which transformation kinds the optimized corpus triggers (Table 4)."""
+    counts = {}
+    for entry in dataset:
+        for kind in entry.recipe.kinds():
+            counts[kind] = counts.get(kind, 0) + 1
+    return counts

@@ -1,0 +1,70 @@
+"""The ten loop parameters of the parameter-driven method (Appendix A).
+
+Each parameter controls one or more of the eleven loop properties
+(Figure 4).  ``LoopParameters.sample`` draws one configuration with the
+paper's ranges; every value is drawn from an explicit seeded RNG so corpora
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class LoopParameters:
+    """One sampled configuration of the ten parameters."""
+
+    iterator_bound: float      # P(iterator appears in a loop bound)
+    loop_depth: int            # max loop depth of the SCoP
+    statement_index: int       # max loop branches per nesting level
+    n_statements: int          # statements in the SCoP
+    dep_distance: int          # max |distance| per dimension
+    read_dep: int              # max WAR/RAW dependences per statement
+    write_dep: float           # P(WAW dependence per statement)
+    array_list: int            # alternative arrays per statement
+    read_array: int            # max reads per statement
+    array_indexes: int         # max |constant| in subscripts
+
+    @staticmethod
+    def sample(rng: random.Random) -> "LoopParameters":
+        """Draw one configuration with Appendix A's ranges."""
+        return LoopParameters(
+            iterator_bound=rng.choice((0.2, 0.4, 0.6)),
+            loop_depth=rng.randint(2, 4),
+            statement_index=rng.randint(1, 3),
+            n_statements=rng.randint(1, 6),
+            dep_distance=rng.randint(1, 2),
+            read_dep=rng.randint(1, 3),
+            write_dep=rng.choice((0.2, 0.4, 0.6)),
+            array_list=rng.randint(1, 3),
+            read_array=rng.choice((1, 3, 5)),
+            array_indexes=rng.randint(1, 2),
+        )
+
+    @staticmethod
+    def colagen_defaults(rng: random.Random) -> "LoopParameters":
+        """COLA-Gen's default settings (§6.4.1): depth 2, one read,
+        a single statement in a perfect nest."""
+        return LoopParameters(
+            iterator_bound=0.0,
+            loop_depth=2,
+            statement_index=1,
+            n_statements=1,
+            dep_distance=rng.randint(1, 2),
+            read_dep=1,
+            write_dep=0.0,
+            array_list=rng.randint(1, 3),
+            read_array=1,
+            array_indexes=1,
+        )
+
+
+#: Names available for synthesized arrays (the paper's NameList).
+NAME_LIST: Tuple[str, ...] = ("A", "B", "C", "D", "E", "F")
+
+#: Alternative size expressions for arrays (the paper's SizeList), as
+#: offsets over the global parameter N.
+SIZE_LIST: Tuple[int, ...] = (0, 1, 2)

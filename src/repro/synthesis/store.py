@@ -1,0 +1,96 @@
+"""Dataset persistence.
+
+The paper publishes its synthesized corpus as an artifact; this module
+serialises a :class:`Dataset` to a single JSON file and loads it back.
+Programs round-trip through the pseudo-C dialect (the printer emits it,
+the Clan-substitute parser reads it), recipes through their argument
+dicts — so a stored corpus is human-readable and diffable.
+
+Only *original* example programs are stored as text; the optimized
+versions are reconstructed by replaying the stored recipe, which keeps
+the file compact and guarantees recipe/optimized consistency.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..analysis.properties import extract_properties
+from ..codegen import scop_body_to_c
+from ..ir.parser import parse_scop
+from ..transforms import TransformRecipe, TransformStep
+from .dataset import Dataset, DatasetEntry
+
+FORMAT_VERSION = 1
+
+
+def _program_source(entry: DatasetEntry) -> str:
+    program = entry.example
+    decls: List[str] = []
+    for name, value in program.scalars:
+        decls.append(f"scalars {name}={value};")
+    for decl in program.arrays:
+        dims = "".join(f"[{d}]" for d in decl.dims)
+        out = " output" if decl.name in program.outputs else ""
+        decls.append(f"array {decl.name}{dims}{out};")
+    return (f"scop {program.name}({', '.join(program.params)}) {{\n"
+            + "\n".join(decls) + "\n"
+            + scop_body_to_c(program) + "\n}")
+
+
+def _recipe_to_json(recipe: TransformRecipe) -> List[Dict[str, Any]]:
+    return [{"kind": step.kind, "args": step.arg_dict()}
+            for step in recipe.steps]
+
+
+def _recipe_from_json(data: List[Dict[str, Any]]) -> TransformRecipe:
+    steps = [TransformStep.make(item["kind"], **item["args"])
+             for item in data]
+    return TransformRecipe(tuple(steps))
+
+
+def save_dataset(dataset: Dataset, path: str) -> None:
+    """Write a dataset to ``path`` as JSON."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "generator": dataset.generator,
+        "seed": dataset.seed,
+        "entries": [
+            {
+                "name": entry.name,
+                "source": _program_source(entry),
+                "recipe": _recipe_to_json(entry.recipe),
+            }
+            for entry in dataset
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_dataset(path: str) -> Dataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format {payload.get('format')!r}")
+    entries: List[DatasetEntry] = []
+    for item in payload["entries"]:
+        example = parse_scop(item["source"])
+        example = example.renamed(item["name"])
+        recipe = _recipe_from_json(item["recipe"])
+        optimized = recipe.apply(example)
+        entries.append(DatasetEntry(
+            name=item["name"],
+            example=example,
+            example_text=scop_body_to_c(example),
+            optimized=optimized,
+            optimized_text=scop_body_to_c(optimized),
+            recipe=recipe,
+            properties=extract_properties(example),
+        ))
+    return Dataset(entries=tuple(entries),
+                   generator=payload["generator"],
+                   seed=payload["seed"])

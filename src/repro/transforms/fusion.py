@@ -1,0 +1,88 @@
+"""Loop fusion and distribution: rewrite the 2d+1 text dimensions.
+
+Fusion makes statements share a loop level by equalising the constant
+dimension in front of it (the ``syrk`` demonstration fuses ``S1`` into the
+tiled ``t4`` loop).  Distribution is the inverse: it separates statements
+into consecutive loop nests by assigning increasing constants.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ir.program import Program
+from ..ir.schedule import ConstDim
+from .base import TransformError, pad_statements, rebuild, selected
+
+
+def _const_col(program: Program, col: int, names) -> None:
+    width = program.schedule_width
+    if not 0 <= col < width:
+        raise TransformError(f"column {col} out of schedule width {width}")
+    for stmt, sched in zip(program.statements, program.aligned_schedules()):
+        if stmt.name in names and sched.dims[col].is_dynamic:
+            raise TransformError(
+                f"column {col} is a loop dimension of {stmt.name}; fusion "
+                "and distribution act on constant (text) dimensions")
+
+
+def fuse(program: Program, col: int,
+         stmts: Optional[Sequence[str]] = None) -> Program:
+    """Give the chosen statements the same constant at column ``col``."""
+    program = pad_statements(program)
+    chosen = selected(program, stmts)
+    if len(chosen) < 2:
+        raise TransformError("fusion needs at least two statements")
+    _const_col(program, col, chosen)
+    values = [sched.dims[col].value
+              for stmt, sched in zip(program.statements,
+                                     program.aligned_schedules())
+              if stmt.name in chosen]
+    if len(set(values)) == 1:
+        raise TransformError(
+            f"statements already share constant {values[0]} at column {col}")
+    target = min(values)
+    new_stmts = []
+    # deeper text positions keep original textual order inside the fused loop
+    order = 0
+    for stmt in program.statements:
+        if stmt.name not in chosen:
+            new_stmts.append(stmt)
+            continue
+        sched = stmt.schedule.padded(program.schedule_width)
+        sched = sched.with_dim(col, ConstDim(target))
+        # renumber the *next* constant column to keep in-loop order stable
+        for nxt in range(col + 1, len(sched.dims)):
+            if not sched.dims[nxt].is_dynamic:
+                sched = sched.with_dim(nxt, ConstDim(order))
+                break
+        order += 1
+        new_stmts.append(stmt.with_schedule(sched))
+    return rebuild(program, new_stmts, f"fuse(col={col})")
+
+
+def distribute(program: Program, col: int,
+               stmts: Optional[Sequence[str]] = None) -> Program:
+    """Assign increasing constants at ``col`` to split a fused loop."""
+    program = pad_statements(program)
+    chosen = selected(program, stmts)
+    if len(chosen) < 2:
+        raise TransformError("distribution needs at least two statements")
+    _const_col(program, col, chosen)
+    base = min(sched.dims[col].value
+               for stmt, sched in zip(program.statements,
+                                      program.aligned_schedules())
+               if stmt.name in chosen)
+    new_stmts = []
+    offset = 0
+    for stmt in program.statements:
+        if stmt.name not in chosen:
+            new_stmts.append(stmt)
+            continue
+        sched = stmt.schedule.padded(program.schedule_width)
+        sched = sched.with_dim(col, ConstDim(base + offset))
+        offset += 1
+        new_stmts.append(stmt.with_schedule(sched))
+    if offset < 2:
+        raise TransformError("distribution selected fewer than 2 statements")
+    return rebuild(program, new_stmts, f"distribute(col={col})")

@@ -1,0 +1,45 @@
+"""Loop interchange: permute two schedule dimensions.
+
+The classic enabling transformation for stride/locality repair (§2.2): the
+``syrk`` demonstration interchanges ``k`` and ``j`` so the innermost loop
+walks rows of ``A`` contiguously.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ir.program import Program
+from .base import TransformError, pad_statements, rebuild, selected
+
+
+def interchange(program: Program, col_a: int, col_b: int,
+                stmts: Optional[Sequence[str]] = None) -> Program:
+    """Swap schedule columns ``col_a`` and ``col_b`` for chosen statements."""
+    if col_a == col_b:
+        raise TransformError("interchange needs two distinct columns")
+    program = pad_statements(program)
+    width = program.schedule_width
+    for col in (col_a, col_b):
+        if not 0 <= col < width:
+            raise TransformError(
+                f"column {col} out of schedule width {width}")
+    chosen = selected(program, stmts)
+    new_stmts = []
+    touched = False
+    for stmt in program.statements:
+        if stmt.name not in chosen:
+            new_stmts.append(stmt)
+            continue
+        dims = list(stmt.schedule.dims)
+        if not (dims[col_a].is_dynamic or dims[col_b].is_dynamic):
+            new_stmts.append(stmt)
+            continue
+        dims[col_a], dims[col_b] = dims[col_b], dims[col_a]
+        touched = True
+        new_stmts.append(stmt.with_schedule(
+            stmt.schedule.__class__(tuple(dims))))
+    if not touched:
+        raise TransformError(
+            f"interchange({col_a},{col_b}) touches no dynamic dimension")
+    return rebuild(program, new_stmts, f"interchange({col_a},{col_b})")

@@ -1,0 +1,35 @@
+"""Parallelization and vectorization pragmas.
+
+These mark schedule columns as ``#pragma omp parallel for`` / vectorized.
+They change modeled cost only; legality is validated against dependences
+exactly like schedule rewrites (`repro.analysis.is_parallel_dim`).
+"""
+
+from __future__ import annotations
+
+from ..ir.program import Program
+from .base import TransformError, dynamic_columns, pad_statements
+
+
+def parallelize(program: Program, col: int) -> Program:
+    """Mark aligned schedule column ``col`` as an OpenMP parallel loop."""
+    program = pad_statements(program)
+    if col not in dynamic_columns(program):
+        raise TransformError(
+            f"column {col} is not a loop dimension of any statement")
+    if col in program.parallel_dims:
+        raise TransformError(f"column {col} is already parallel")
+    out = program.with_parallel(program.parallel_dims | {col})
+    return out.with_provenance(f"parallel(col={col})")
+
+
+def vectorize(program: Program, col: int) -> Program:
+    """Mark aligned schedule column ``col`` as vectorized (SIMD)."""
+    program = pad_statements(program)
+    if col not in dynamic_columns(program):
+        raise TransformError(
+            f"column {col} is not a loop dimension of any statement")
+    if col in program.vector_dims:
+        raise TransformError(f"column {col} is already vectorized")
+    out = program.with_vector(program.vector_dims | {col})
+    return out.with_provenance(f"vectorize(col={col})")

@@ -1,0 +1,139 @@
+"""Transformation recipes: named, replayable compositions.
+
+A recipe is the serialized form of "what the optimizer did": the dataset
+stores one per optimized example (so the retriever can hand an LLM the
+composition behind a demonstration), Table 4 counts the kinds appearing in
+a corpus, and the simulated LLM adapts recipes from demonstrations onto
+target programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+
+from ..ir.program import Program
+from .base import TransformError
+from .fusion import distribute, fuse
+from .interchange import interchange
+from .parallel import parallelize, vectorize
+from .scalar import accumulate_in_register
+from .skewing import shift, skew
+from .tiling import tile
+
+#: Transformation kinds (Table 4 vocabulary + pragmas + scalar renaming).
+KIND_TILING = "tiling"
+KIND_INTERCHANGE = "interchange"
+KIND_SKEWING = "skewing"
+KIND_FUSION = "fusion"
+KIND_DISTRIBUTION = "distribution"
+KIND_SHIFTING = "shifting"
+KIND_PARALLEL = "parallel"
+KIND_VECTORIZE = "vectorize"
+KIND_REG_ACCUM = "reg_accum"
+
+LOOP_KINDS = (KIND_TILING, KIND_INTERCHANGE, KIND_SKEWING, KIND_FUSION,
+              KIND_DISTRIBUTION, KIND_SHIFTING)
+ALL_KINDS = LOOP_KINDS + (KIND_PARALLEL, KIND_VECTORIZE, KIND_REG_ACCUM)
+
+
+@dataclass(frozen=True)
+class TransformStep:
+    """One transformation with its arguments."""
+
+    kind: str
+    args: Tuple[Tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def make(kind: str, **args: Any) -> "TransformStep":
+        if kind not in ALL_KINDS:
+            raise TransformError(f"unknown transformation kind {kind!r}")
+        frozen = tuple(sorted(
+            (k, tuple(v) if isinstance(v, list) else v)
+            for k, v in args.items()))
+        return TransformStep(kind, frozen)
+
+    def arg_dict(self) -> Dict[str, Any]:
+        return {k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in self.args}
+
+    def apply(self, program: Program) -> Program:
+        args = self.arg_dict()
+        if self.kind == KIND_TILING:
+            return tile(program, args["columns"],
+                        args.get("sizes", 32), args.get("stmts"),
+                        args.get("at"))
+        if self.kind == KIND_INTERCHANGE:
+            return interchange(program, args["col_a"], args["col_b"],
+                               args.get("stmts"))
+        if self.kind == KIND_SKEWING:
+            return skew(program, args["target_col"], args["source_col"],
+                        args["factor"], args.get("stmts"))
+        if self.kind == KIND_FUSION:
+            return fuse(program, args["col"], args.get("stmts"))
+        if self.kind == KIND_DISTRIBUTION:
+            return distribute(program, args["col"], args.get("stmts"))
+        if self.kind == KIND_SHIFTING:
+            return shift(program, args["stmt"], args["col"], args["offset"])
+        if self.kind == KIND_PARALLEL:
+            return parallelize(program, args["col"])
+        if self.kind == KIND_VECTORIZE:
+            return vectorize(program, args["col"])
+        if self.kind == KIND_REG_ACCUM:
+            return accumulate_in_register(program, args["stmt"])
+        raise TransformError(f"unknown transformation kind {self.kind!r}")
+
+    def __str__(self) -> str:
+        rendered = ", ".join(f"{k}={v}" for k, v in self.args)
+        return f"{self.kind}({rendered})"
+
+
+@dataclass(frozen=True)
+class TransformRecipe:
+    """An ordered sequence of steps applied to a program."""
+
+    steps: Tuple[TransformStep, ...] = ()
+
+    @staticmethod
+    def of(*steps: TransformStep) -> "TransformRecipe":
+        return TransformRecipe(tuple(steps))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __bool__(self) -> bool:
+        return bool(self.steps)
+
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(step.kind for step in self.steps))
+
+    def extended(self, step: TransformStep) -> "TransformRecipe":
+        return TransformRecipe(self.steps + (step,))
+
+    def without(self, index: int) -> "TransformRecipe":
+        return TransformRecipe(
+            self.steps[:index] + self.steps[index + 1:])
+
+    def apply(self, program: Program) -> Program:
+        """Apply all steps; raises :class:`TransformError` on failure."""
+        for step in self.steps:
+            program = step.apply(program)
+        return program
+
+    def try_apply(self, program: Program) -> Tuple[Program, List[int]]:
+        """Apply what applies; return (program, indices of skipped steps)."""
+        skipped: List[int] = []
+        for index, step in enumerate(self.steps):
+            try:
+                program = step.apply(program)
+            except TransformError:
+                skipped.append(index)
+        return program, skipped
+
+    def describe(self) -> str:
+        if not self.steps:
+            return "<identity>"
+        return " ; ".join(str(s) for s in self.steps)
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,46 @@
+"""Scalar renaming of reductions (register accumulation).
+
+§6.3 notes LOOPRAG can beat PLuTo partly via auxiliary techniques like
+scalar renaming of reductions.  Marking ``reg_accum`` on an accumulation
+statement models hoisting the running sum into a register across the
+innermost loop: semantics are unchanged, the store traffic disappears from
+the cost model.  Legal only when the written element is invariant in the
+statement's innermost loop.
+"""
+
+from __future__ import annotations
+
+from ..ir.program import Program
+from .base import TransformError, pad_statements
+
+
+def accumulate_in_register(program: Program, stmt_name: str) -> Program:
+    """Set ``reg_accum`` on a reduction statement."""
+    program = pad_statements(program)
+    try:
+        stmt = program.statement(stmt_name)
+    except KeyError:
+        raise TransformError(f"unknown statement {stmt_name!r}") from None
+    if stmt.body.op not in ("+=", "-=", "*="):
+        raise TransformError(
+            f"{stmt_name} is not an accumulation ({stmt.body.op})")
+    if stmt.reg_accum:
+        raise TransformError(f"{stmt_name} already accumulates in register")
+    inner_iter = None
+    for col in range(len(stmt.schedule.dims) - 1, -1, -1):
+        dim = stmt.schedule.dims[col]
+        if dim.is_dynamic:
+            own = set(stmt.domain.iterator_names)
+            cands = [v for v in dim.expr.variables() if v in own]
+            inner_iter = cands[-1] if cands else None
+            break
+    if inner_iter is not None:
+        for ix in stmt.body.lhs.indices:
+            if ix.coeff(inner_iter) != 0:
+                raise TransformError(
+                    f"{stmt_name} writes a location varying with the "
+                    f"innermost loop '{inner_iter}'; register accumulation "
+                    "would change semantics")
+    new = stmt.with_reg_accum(True)
+    return program.with_statement(stmt_name, new).with_provenance(
+        f"reg_accum({stmt_name})")

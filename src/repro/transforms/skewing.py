@@ -1,0 +1,78 @@
+"""Loop skewing and shifting: affine rewrites of schedule dimensions.
+
+Skewing replaces dimension ``t`` by ``t + f*s`` (wavefront schedules for
+stencils, Listing 4/5 of the paper); shifting adds a per-statement constant
+offset to align iterations across fused statements (Listing 5's
+``t3 - t4 < t4`` alignment).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ir.program import Program
+from ..ir.schedule import LoopDim, TileDim
+from .base import TransformError, pad_statements, rebuild, selected
+
+
+def skew(program: Program, target_col: int, source_col: int, factor: int,
+         stmts: Optional[Sequence[str]] = None) -> Program:
+    """Rewrite ``dims[target] += factor * dims[source]`` (both dynamic)."""
+    if factor == 0:
+        raise TransformError("skew factor must be non-zero")
+    if target_col == source_col:
+        raise TransformError("skew needs distinct target/source columns")
+    program = pad_statements(program)
+    chosen = selected(program, stmts)
+    new_stmts = []
+    touched = False
+    for stmt in program.statements:
+        sched = stmt.schedule
+        if (stmt.name not in chosen
+                or target_col >= len(sched.dims)
+                or source_col >= len(sched.dims)):
+            new_stmts.append(stmt)
+            continue
+        tdim = sched.dims[target_col]
+        sdim = sched.dims[source_col]
+        if not (tdim.is_dynamic and sdim.is_dynamic):
+            new_stmts.append(stmt)
+            continue
+        if isinstance(tdim, TileDim) or isinstance(sdim, TileDim):
+            raise TransformError("skewing tile dimensions is not supported")
+        new_expr = tdim.expr + sdim.expr * factor
+        new_stmts.append(stmt.with_schedule(
+            sched.with_dim(target_col, LoopDim(new_expr))))
+        touched = True
+    if not touched:
+        raise TransformError(
+            f"skew({target_col},{source_col}) touches no statement")
+    return rebuild(program, new_stmts,
+                   f"skew(t={target_col},s={source_col},f={factor})")
+
+
+def shift(program: Program, stmt_name: str, col: int,
+          offset: int) -> Program:
+    """Add ``offset`` to one statement's dimension at ``col``."""
+    if offset == 0:
+        raise TransformError("shift offset must be non-zero")
+    program = pad_statements(program)
+    names = [s.name for s in program.statements]
+    if stmt_name not in names:
+        raise TransformError(f"unknown statement {stmt_name!r}")
+    new_stmts = []
+    for stmt in program.statements:
+        if stmt.name != stmt_name:
+            new_stmts.append(stmt)
+            continue
+        sched = stmt.schedule
+        if col >= len(sched.dims) or not sched.dims[col].is_dynamic:
+            raise TransformError(
+                f"column {col} is not a loop dimension of {stmt_name}")
+        dim = sched.dims[col]
+        if isinstance(dim, TileDim):
+            raise TransformError("shifting a tile dimension is not supported")
+        new_stmts.append(stmt.with_schedule(
+            sched.with_dim(col, LoopDim(dim.expr + offset))))
+    return rebuild(program, new_stmts,
+                   f"shift({stmt_name},col={col},off={offset})")

@@ -1,0 +1,78 @@
+"""Loop tiling: block a band of schedule dimensions.
+
+For a band of columns ``[c0, c1, ...]`` with sizes ``[b0, b1, ...]`` the
+transform prepends tile dimensions ``floor(e/b)`` at the band's first
+column, exactly PLuTo's rectangular tiling in schedule form: the executed
+order becomes tiles-lexicographic, then points within a tile.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..ir.program import Program
+from ..ir.schedule import ConstDim, Schedule, TileDim
+from .base import (TransformError, pad_statements, rebuild, selected,
+                   shift_pragma_columns)
+
+DEFAULT_TILE = 32
+
+
+def tile(program: Program, columns: Sequence[int],
+         sizes: Union[int, Sequence[int]] = DEFAULT_TILE,
+         stmts: Optional[Sequence[str]] = None,
+         at: Optional[int] = None) -> Program:
+    """Tile the band formed by ``columns`` (aligned schedule columns).
+
+    The tile dimensions are inserted at column ``at`` (default: in front of
+    the band).  Passing an earlier column hoists the tile loops above
+    intervening loops — how PLuTo places the tile loop of an inner
+    reduction dimension outside the point band.
+    """
+    if not columns:
+        raise TransformError("tile needs at least one column")
+    if isinstance(sizes, int):
+        sizes = [sizes] * len(columns)
+    if len(sizes) != len(columns):
+        raise TransformError("one tile size per tiled column required")
+    if any(b <= 1 for b in sizes):
+        raise TransformError(f"tile sizes must exceed 1, got {list(sizes)}")
+    program = pad_statements(program)
+    width = program.schedule_width
+    for col in columns:
+        if not 0 <= col < width:
+            raise TransformError(f"column {col} out of width {width}")
+    if sorted(set(columns)) != list(columns):
+        raise TransformError("band columns must be strictly increasing")
+    chosen = selected(program, stmts)
+    insert_at = columns[0] if at is None else at
+    if not 0 <= insert_at <= columns[0]:
+        raise TransformError(
+            f"tile insertion point {insert_at} must lie in [0, "
+            f"{columns[0]}]")
+    new_stmts = []
+    any_dynamic = False
+    for stmt in program.statements:
+        dims = list(stmt.schedule.dims)
+        new_dims = []
+        for col, size in zip(columns, sizes):
+            dim = dims[col]
+            if stmt.name in chosen and dim.is_dynamic:
+                new_dims.append(TileDim(dim.expr, size))
+                any_dynamic = True
+            elif dim.is_dynamic:
+                # statement not selected: keep ordering via a copy
+                new_dims.append(dim)
+            else:
+                new_dims.append(ConstDim(dim.value))
+        new_stmts.append(stmt.with_schedule(
+            Schedule(tuple(dims)).insert_dims(insert_at, new_dims)))
+    if not any_dynamic:
+        raise TransformError("tile band contains no dynamic dimension")
+    out = rebuild(program, new_stmts,
+                  f"tile(cols={list(columns)},sizes={list(sizes)})")
+    out = out.with_parallel(
+        shift_pragma_columns(out.parallel_dims, insert_at, len(columns)))
+    out = out.with_vector(
+        shift_pragma_columns(out.vector_dims, insert_at, len(columns)))
+    return out

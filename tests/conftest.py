@@ -1,0 +1,96 @@
+"""Shared fixtures: canonical kernels used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import parse_scop
+
+GEMM_SRC = """
+scop gemm(NI, NJ, NK) {
+  scalars alpha=1.5 beta=1.2;
+  array C[NI][NJ] output;
+  array A[NI][NK];
+  array B[NK][NJ];
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NJ; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < NK; k++)
+      for (j = 0; j < NJ; j++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+  }
+}
+"""
+
+SYRK_SRC = """
+scop syrk(N, M) {
+  scalars alpha=1.5 beta=1.2;
+  array C[N][N] output;
+  array A[N][M];
+  for (i = 0; i < N; i++) {
+    for (j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < M; k++)
+      for (j = 0; j <= i; j++)
+        C[i][j] += alpha * A[i][k] * A[j][k];
+  }
+}
+"""
+
+JACOBI2D_SRC = """
+scop jacobi_2d(T, N) {
+  array A[N][N] output;
+  array B[N][N] output;
+  for (t = 0; t < T; t++) {
+    for (i = 1; i < N-1; i++)
+      for (j = 1; j < N-1; j++)
+        B[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][1+j] + A[1+i][j] + A[i-1][j]);
+    for (i = 1; i < N-1; i++)
+      for (j = 1; j < N-1; j++)
+        A[i][j] = 0.2 * (B[i][j] + B[i][j-1] + B[i][1+j] + B[1+i][j] + B[i-1][j]);
+  }
+}
+"""
+
+STREAM_SRC = """
+scop stream_add(LEN) {
+  array X[LEN] output;
+  array Y[LEN];
+  array Z[LEN];
+  for (i = 0; i < LEN; i++)
+    X[i] = Y[i] + 2.0 * Z[i];
+}
+"""
+
+SEQ_SRC = """
+scop recur(LEN) {
+  array X[LEN] output;
+  for (i = 1; i < LEN; i++)
+    X[i] = X[i-1] + 1.0;
+}
+"""
+
+
+@pytest.fixture
+def gemm():
+    return parse_scop(GEMM_SRC)
+
+
+@pytest.fixture
+def syrk():
+    return parse_scop(SYRK_SRC)
+
+
+@pytest.fixture
+def jacobi2d():
+    return parse_scop(JACOBI2D_SRC)
+
+
+@pytest.fixture
+def stream():
+    return parse_scop(STREAM_SRC)
+
+
+@pytest.fixture
+def recur():
+    return parse_scop(SEQ_SRC)

@@ -1,0 +1,93 @@
+"""Pseudo-C printer tests, including original-program round-trips."""
+
+import pytest
+
+from repro.codegen import scop_body_to_c, to_c
+from repro.ir import parse_scop
+from repro.runtime import run
+from repro.transforms import fuse, interchange, parallelize, tile, vectorize
+
+
+class TestOriginalPrinting:
+    def test_gemm_contains_loops(self, gemm):
+        text = to_c(gemm)
+        assert "for (i = 0; i <= NI-1; i++)" in text
+        assert "#pragma scop" in text and "#pragma endscop" in text
+
+    def test_statement_names_annotated(self, gemm):
+        text = scop_body_to_c(gemm)
+        assert "// S1" in text and "// S2" in text
+
+    def test_triangular_bound_printed(self, syrk):
+        assert "j <= i" in scop_body_to_c(syrk)
+
+    def test_guard_printed(self):
+        p = parse_scop("""
+        scop g(N) {
+          array A[N] output;
+          for (i = 0; i < N; i++)
+            if (i >= 2)
+              A[i] = 1.0;
+        }
+        """)
+        assert "if (i-2 >= 0)" in scop_body_to_c(p)
+
+    def test_scalars_and_arrays_declared(self, gemm):
+        text = to_c(gemm)
+        assert "double alpha = 1.5;" in text
+        assert "double C[NI][NJ];  // output" in text
+
+
+class TestTransformedPrinting:
+    def test_tile_prints_tile_loops(self, stream):
+        text = scop_body_to_c(tile(stream, [1], 32))
+        assert "/32" in text
+
+    def test_point_loop_bounded_by_tile(self, stream):
+        text = scop_body_to_c(tile(stream, [1], 32))
+        assert "max(0, 32*t1)" in text
+        assert "min(LEN-1, 32*t1+31)" in text
+
+    def test_parallel_pragma(self, stream):
+        text = scop_body_to_c(parallelize(stream, 1))
+        assert "#pragma omp parallel for" in text
+
+    def test_simd_pragma(self, stream):
+        text = scop_body_to_c(vectorize(stream, 1))
+        assert "#pragma omp simd" in text
+
+    def test_fused_statements_share_loop(self, gemm):
+        aligned = interchange(gemm, 3, 5, stmts=["S2"])
+        fused = fuse(aligned, 2)
+        text = scop_body_to_c(fused)
+        # a single j loop containing S1 with the k loop after it
+        assert text.count("for (j = 0; j <= NJ-1; j++)") == 1
+
+    def test_provenance_comments(self, stream):
+        text = to_c(parallelize(stream, 1))
+        assert "// applied: parallel(col=1)" in text
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("fixture", ["gemm", "syrk", "jacobi2d",
+                                         "stream", "recur"])
+    def test_print_parse_same_semantics(self, fixture, request):
+        program = request.getfixturevalue(fixture)
+        body = scop_body_to_c(program)
+        # strip the statement-name comments; the parser renames anyway
+        decls = []
+        for name, value in program.scalars:
+            decls.append(f"scalars {name}={value};")
+        for decl in program.arrays:
+            dims = "".join(f"[{d}]" for d in decl.dims)
+            out = " output" if decl.name in program.outputs else ""
+            decls.append(f"array {decl.name}{dims}{out};")
+        source = (f"scop rt({', '.join(program.params)}) {{\n"
+                  + "\n".join(decls) + "\n" + body + "\n}")
+        reparsed = parse_scop(source)
+        params = {p: 6 for p in program.params}
+        if "T" in params:
+            params["T"] = 2
+        a = run(program, params)
+        b = run(reparsed, params)
+        assert a.checksum == pytest.approx(b.checksum)

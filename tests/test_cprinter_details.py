@@ -1,0 +1,79 @@
+"""Printer details: interval arithmetic, ordering, transformed nests."""
+
+import pytest
+
+from repro.codegen import scop_body_to_c, to_c
+from repro.ir import parse_scop
+from repro.transforms import distribute, fuse, interchange, skew, tile
+
+
+class TestIntervalArithmetic:
+    def test_skewed_loop_bounds_are_sums(self, jacobi2d):
+        s = skew(jacobi2d, 3, 1, 1)
+        text = scop_body_to_c(s)
+        # the synthetic t-loop for i+t ranges over both extents
+        assert "t1" in text
+        assert "T-1" in text and "N-2" in text
+
+    def test_negative_coefficient_flips_bounds(self):
+        p = parse_scop("""
+        scop neg(N) {
+          array A[N] output;
+          for (i = 0; i < N; i++)
+            A[i] = 1.0;
+        }
+        """)
+        from repro.ir.schedule import LoopDim
+        from repro.ir import var
+        stmt = p.statements[0]
+        flipped = p.with_statement(
+            "S1", stmt.with_schedule(
+                stmt.schedule.with_dim(1, LoopDim(var("i") * -1))))
+        text = scop_body_to_c(flipped)
+        assert "-1*(N-1)" in text  # lower bound becomes -upper
+
+
+class TestTextualOrder:
+    def test_out_of_list_order_statements_sorted(self):
+        # build a program whose statement list order disagrees with the
+        # schedule order and check the printer emits schedule order
+        p = parse_scop("""
+        scop two(N) {
+          array A[N] output;
+          array B[N] output;
+          for (i = 0; i < N; i++)
+            A[i] = 1.0;
+          for (i = 0; i < N; i++)
+            B[i] = 2.0;
+        }
+        """)
+        reordered = p.with_statements([p.statements[1], p.statements[0]])
+        text = scop_body_to_c(reordered)
+        assert text.index("A[i] = 1") < text.index("B[i] = 2")
+
+    def test_distributed_order(self, gemm):
+        d = distribute(gemm, 0)
+        text = scop_body_to_c(d)
+        assert text.index("// S1") < text.index("// S2")
+
+
+class TestTransformedNests:
+    def test_fused_loop_shares_header(self, gemm):
+        aligned = interchange(gemm, 3, 5, stmts=["S2"])
+        fused = fuse(aligned, 2)
+        text = scop_body_to_c(fused)
+        # exactly one i-loop header and one shared j-loop header
+        assert text.count("for (i = 0") == 1
+        assert text.count("for (j = 0") == 1
+
+    def test_nested_tiles_print_point_constraints(self, gemm):
+        t = tile(gemm, [1], 16)
+        text = scop_body_to_c(t)
+        assert "max(0, 16*t1)" in text
+        assert "min(NI-1, 16*t1+15)" in text
+
+    def test_full_unit_contains_declarations(self, syrk):
+        text = to_c(syrk)
+        assert text.splitlines()[0] == "// program syrk"
+        assert "double C[N][N];  // output" in text
+        assert "#pragma scop" in text

@@ -1,0 +1,129 @@
+"""Unit and property tests for affine expressions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import Affine, aff, var
+
+names = st.sampled_from(["i", "j", "k", "N", "M"])
+affines = st.builds(
+    Affine.from_terms,
+    st.dictionaries(names, st.integers(-5, 5), max_size=4),
+    st.integers(-20, 20),
+)
+envs = st.fixed_dictionaries({n: st.integers(-10, 10) for n in
+                              ["i", "j", "k", "N", "M"]})
+
+
+class TestConstruction:
+    def test_const(self):
+        assert aff(7).evaluate({}) == 7
+        assert aff(7).is_constant
+
+    def test_var(self):
+        assert var("i").evaluate({"i": 3}) == 3
+        assert var("i", 4).coeff("i") == 4
+
+    def test_zero_coeff_dropped(self):
+        e = Affine.from_terms({"i": 0, "j": 2})
+        assert e.variables() == ("j",)
+
+    def test_coerce_int(self):
+        assert Affine.coerce(5) == aff(5)
+
+    def test_coerce_passthrough(self):
+        e = var("i")
+        assert Affine.coerce(e) is e
+
+
+class TestArithmetic:
+    def test_add(self):
+        e = var("i") + var("j") + 3
+        assert e.evaluate({"i": 1, "j": 2}) == 6
+
+    def test_sub(self):
+        e = var("i") - 1
+        assert e.evaluate({"i": 5}) == 4
+
+    def test_rsub(self):
+        e = 10 - var("i")
+        assert e.evaluate({"i": 3}) == 7
+
+    def test_neg(self):
+        assert (-var("i")).evaluate({"i": 4}) == -4
+
+    def test_mul_scalar(self):
+        assert (var("i") * 3).evaluate({"i": 2}) == 6
+
+    def test_mul_zero_collapses(self):
+        assert (var("i") * 0).is_constant
+
+    def test_mul_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            var("i") * 1.5
+
+    def test_terms_cancel(self):
+        e = var("i") - var("i")
+        assert e.is_constant and e.const == 0
+
+
+class TestSubstitution:
+    def test_substitute_var(self):
+        e = var("i") + 2
+        s = e.substitute({"i": var("j") + 1})
+        assert s.evaluate({"j": 4}) == 7
+
+    def test_substitute_scales(self):
+        e = var("i") * 3
+        s = e.substitute({"i": var("j") + 1})
+        assert s.evaluate({"j": 2}) == 9
+
+    def test_rename(self):
+        e = var("i") + var("N")
+        r = e.rename({"i": "t"})
+        assert r.coeff("t") == 1 and r.coeff("N") == 1
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(KeyError):
+            var("i").evaluate({})
+
+
+class TestRendering:
+    @pytest.mark.parametrize("expr,text", [
+        (aff(0), "0"),
+        (var("i"), "i"),
+        (var("i") * -1, "-i"),
+        (var("i") + 1, "i+1"),
+        (var("i") - var("j"), "i-j"),
+        (var("i") * 2 - 3, "2*i-3"),
+    ])
+    def test_str(self, expr, text):
+        assert str(expr) == text
+
+
+class TestProperties:
+    @given(affines, affines, envs)
+    def test_add_commutes(self, a, b, env):
+        assert (a + b).evaluate(env) == (b + a).evaluate(env)
+
+    @given(affines, affines, affines, envs)
+    def test_add_associates(self, a, b, c, env):
+        assert ((a + b) + c).evaluate(env) == (a + (b + c)).evaluate(env)
+
+    @given(affines, envs)
+    def test_double_negation(self, a, env):
+        assert (-(-a)).evaluate(env) == a.evaluate(env)
+
+    @given(affines, st.integers(-6, 6), envs)
+    def test_scaling_distributes(self, a, k, env):
+        assert (a * k).evaluate(env) == k * a.evaluate(env)
+
+    @given(affines)
+    def test_structural_equality_is_hash_equality(self, a):
+        b = Affine(a.terms, a.const)
+        assert a == b and hash(a) == hash(b)
+
+    @given(affines, envs)
+    def test_substitute_identity(self, a, env):
+        mapping = {n: Affine.var(n) for n in a.variables()}
+        assert a.substitute(mapping) == a

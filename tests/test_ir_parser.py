@@ -1,0 +1,184 @@
+"""Parser (Clan substitute) tests."""
+
+import pytest
+
+from repro.ir import (Ref, ScopSyntaxError, parse_scop, validate_program)
+
+
+class TestBasicParsing:
+    def test_gemm_statements(self, gemm):
+        assert [s.name for s in gemm.statements] == ["S1", "S2"]
+
+    def test_gemm_params(self, gemm):
+        assert gemm.params == ("NI", "NJ", "NK")
+
+    def test_gemm_scalars(self, gemm):
+        assert dict(gemm.scalars) == {"alpha": 1.5, "beta": 1.2}
+
+    def test_gemm_arrays(self, gemm):
+        assert gemm.array_names() == ("C", "A", "B")
+        assert gemm.array("C").rank == 2
+
+    def test_output_marker(self, gemm):
+        assert gemm.outputs == ("C",)
+
+    def test_schedules_are_2d_plus_1(self, gemm):
+        s1, s2 = gemm.statements
+        assert str(s1.schedule) == "[0, i, 0, j, 0]"
+        assert str(s2.schedule) == "[0, i, 1, k, 0, j, 0]"
+
+    def test_compound_assign_parsed(self, gemm):
+        assert gemm.statements[0].body.op == "*="
+        assert gemm.statements[1].body.op == "+="
+
+    def test_triangular_bound(self, syrk):
+        j_spec = syrk.statements[0].domain.iters[1]
+        assert str(j_spec.uppers[0]) == "i"
+
+    def test_strict_less_rewritten(self, gemm):
+        i_spec = gemm.statements[0].domain.iters[0]
+        assert str(i_spec.uppers[0]) == "NI-1"
+
+    def test_validates(self, gemm, syrk, jacobi2d, stream, recur):
+        for program in (gemm, syrk, jacobi2d, stream, recur):
+            validate_program(program)
+
+
+class TestGuardsAndBounds:
+    def test_if_becomes_guard(self):
+        p = parse_scop("""
+        scop g(N) {
+          array A[N] output;
+          for (i = 0; i < N; i++)
+            if (i >= 2)
+              A[i] = A[i] + 1.0;
+        }
+        """)
+        stmt = p.statements[0]
+        assert len(stmt.guards) == 1
+        assert stmt.guards[0].evaluate({"i": 2}) >= 0
+        assert stmt.guards[0].evaluate({"i": 1}) < 0
+
+    def test_conjunction_guards(self):
+        p = parse_scop("""
+        scop g(N) {
+          array A[N] output;
+          for (i = 0; i < N; i++)
+            if (i >= 1 && i < N - 1)
+              A[i] = 1.0;
+        }
+        """)
+        assert len(p.statements[0].guards) == 2
+
+    def test_max_lower_bound(self):
+        p = parse_scop("""
+        scop g(N) {
+          array A[N][N] output;
+          for (i = 0; i < N; i++)
+            for (j = max(0, i - 2); j <= min(N - 1, i + 2); j++)
+              A[i][j] = 1.0;
+        }
+        """)
+        spec = p.statements[0].domain.iters[1]
+        assert len(spec.lowers) == 2 and len(spec.uppers) == 2
+
+
+class TestRejections:
+    def test_unknown_identifier(self):
+        with pytest.raises(ScopSyntaxError):
+            parse_scop("scop b(N) { array A[N] output; "
+                       "for (i = 0; i < N; i++) A[i] = q; }")
+
+    def test_nonaffine_subscript(self):
+        with pytest.raises(ScopSyntaxError):
+            parse_scop("scop b(N) { array A[N] output; "
+                       "for (i = 0; i < N; i++) A[i*i] = 1.0; }")
+
+    def test_shadowed_iterator(self):
+        with pytest.raises(ScopSyntaxError):
+            parse_scop("scop b(N) { array A[N] output; "
+                       "for (i = 0; i < N; i++) "
+                       "for (i = 0; i < N; i++) A[i] = 1.0; }")
+
+    def test_wrong_loop_condition_var(self):
+        with pytest.raises(ScopSyntaxError):
+            parse_scop("scop b(N) { array A[N] output; "
+                       "for (i = 0; j < N; i++) A[i] = 1.0; }")
+
+    def test_scalar_write_rejected(self):
+        with pytest.raises(ScopSyntaxError):
+            parse_scop("scop b(N) { array A[N] output; "
+                       "for (i = 0; i < N; i++) x = 1.0; }")
+
+    def test_empty_scop_rejected(self):
+        with pytest.raises(ScopSyntaxError):
+            parse_scop("scop b(N) { array A[N] output; }")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ScopSyntaxError):
+            parse_scop("scop b(N) { array A[N] output; "
+                       "for (i = 0; i < N; i++) A[i] = 1.0; } garbage")
+
+    def test_downward_loop_rejected(self):
+        with pytest.raises(ScopSyntaxError):
+            parse_scop("scop b(N) { array A[N] output; "
+                       "for (i = N; i > 0; i++) A[i] = 1.0; }")
+
+
+class TestExpressionParsing:
+    def test_precedence(self):
+        p = parse_scop("""
+        scop e(N) {
+          array A[N] output;
+          array B[N];
+          for (i = 0; i < N; i++)
+            A[i] = B[i] + 2.0 * B[i] * 3.0;
+        }
+        """)
+        # B[i] + ((2*B[i])*3) under left-assoc precedence
+        rhs = p.statements[0].body.rhs
+        assert rhs.op == "+"
+
+    def test_function_call(self):
+        p = parse_scop("""
+        scop e(N) {
+          array A[N] output;
+          for (i = 0; i < N; i++)
+            A[i] = sqrt(A[i]);
+        }
+        """)
+        assert "sqrt" in str(p.statements[0].body)
+
+    def test_negation(self):
+        p = parse_scop("""
+        scop e(N) {
+          array A[N][N] output;
+          array C[N];
+          for (i = 0; i < N; i++)
+            for (k = 0; k < N; k++)
+              A[i][k] = -A[k][i] + C[k] - 2.0;
+        }
+        """)
+        reads = [str(r) for r in p.statements[0].body.rhs.reads()]
+        assert "A[k][i]" in reads
+
+
+class TestValidation:
+    def test_undeclared_array(self):
+        from repro.ir import CompileError, Statement, Schedule, Domain
+        p = parse_scop("scop v(N) { array A[N] output; "
+                       "for (i = 0; i < N; i++) A[i] = 1.0; }")
+        stmt = p.statements[0]
+        bad = stmt.with_body(stmt.body.rename_arrays({"A": "Z"}))
+        broken = p.with_statement("S1", bad)
+        with pytest.raises(CompileError):
+            validate_program(broken)
+
+    def test_rank_mismatch(self):
+        from repro.ir import Assignment, CompileError, Const, Ref, var
+        p = parse_scop("scop v(N) { array A[N] output; "
+                       "for (i = 0; i < N; i++) A[i] = 1.0; }")
+        stmt = p.statements[0]
+        bad_body = Assignment(Ref("A", (var("i"), var("i"))), "=", Const(1.0))
+        with pytest.raises(CompileError):
+            validate_program(p.with_statement("S1", stmt.with_body(bad_body)))

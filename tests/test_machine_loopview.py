@@ -1,0 +1,88 @@
+"""Loop-view reconstruction details the cost model depends on."""
+
+import pytest
+
+from repro.ir import parse_scop
+from repro.machine import build_view
+from repro.machine.loopview import LoopInfo
+from repro.transforms import interchange, parallelize, skew, tile, vectorize
+
+
+class TestPrimaryIterators:
+    def test_plain_nest(self, gemm):
+        view = build_view(gemm, gemm.statements[1],
+                          {"NI": 100, "NJ": 100, "NK": 100})
+        assert [l.primary for l in view.loops] == ["i", "k", "j"]
+
+    def test_interchange_reorders_primaries(self, gemm):
+        t = interchange(gemm, 3, 5, stmts=["S2"])
+        view = build_view(t, t.statements[1],
+                          {"NI": 100, "NJ": 100, "NK": 100})
+        assert [l.primary for l in view.loops] == ["i", "j", "k"]
+
+    def test_skewed_dim_claims_first_unclaimed(self, jacobi2d):
+        s = skew(jacobi2d, 3, 1, 1)  # i+t
+        view = build_view(s, s.statements[0], {"T": 10, "N": 100})
+        assert view.loops[0].primary == "t"
+        assert view.loops[1].primary == "i"  # claimed by the skewed dim
+
+    def test_pragma_flags_propagate(self, stream):
+        p = vectorize(parallelize(stream, 1), 1)
+        view = build_view(p, p.statements[0], {"LEN": 1000})
+        assert view.loops[0].parallel and view.loops[0].vectorized
+
+
+class TestTileStructure:
+    def test_tile_and_point_trips(self, stream):
+        t = tile(stream, [1], 32)
+        view = build_view(t, t.statements[0], {"LEN": 1000})
+        tile_loop, point_loop = view.loops
+        assert tile_loop.is_tile and tile_loop.tile_size == 32
+        assert tile_loop.trip == pytest.approx(32, abs=1)  # ceil(1000/32)
+        assert point_loop.trip == pytest.approx(32, rel=0.05)
+
+    def test_tile_steps_scaled(self, stream):
+        t = tile(stream, [1], 16)
+        view = build_view(t, t.statements[0], {"LEN": 1000})
+        assert view.loops[0].steps() == {"i": 16}
+        assert view.loops[1].steps() == {"i": 1}
+
+    def test_duplicate_dims_skipped(self, gemm):
+        # per-statement tiling leaves copies in unselected statements;
+        # the view must not double-count them
+        t = tile(gemm, [1], 8, stmts=["S2"])
+        view = build_view(t, t.statements[0],
+                          {"NI": 64, "NJ": 64, "NK": 64})
+        primaries = [l.primary for l in view.loops if not l.is_tile]
+        assert primaries == ["i", "j"]
+
+
+class TestTotals:
+    def test_total_iters_guard_scaled(self):
+        p = parse_scop("""
+        scop g(N) {
+          array A[N] output;
+          for (i = 0; i < N; i++)
+            if (i >= 4)
+              A[i] = 1.0;
+        }
+        """)
+        view = build_view(p, p.statements[0], {"N": 100},
+                          guard_fraction=0.5)
+        assert view.total_iters == pytest.approx(50)
+
+    def test_extents_recorded(self, gemm):
+        view = build_view(gemm, gemm.statements[1],
+                          {"NI": 10, "NJ": 20, "NK": 30})
+        assert view.extent_of("i") == 10
+        assert view.extent_of("j") == 20
+        assert view.extent_of("k") == 30
+
+    def test_triangular_normalisation(self, syrk):
+        params = {"N": 200, "M": 100}
+        view = build_view(syrk, syrk.statements[1], params)
+        product = 1.0
+        for loop in view.loops:
+            product *= loop.trip
+        # normalised trips multiply out to the true instance count
+        assert product == pytest.approx(view.total_iters, rel=0.01)

@@ -1,0 +1,137 @@
+"""Analytical cost model behaviour tests.
+
+These pin the *directional* behaviour the evaluation shapes depend on:
+locality transformations reduce modeled misses, parallelism scales compute
+but is bandwidth-capped, tiling small flat loops is a (mild) pessimisation.
+"""
+
+import pytest
+
+from repro.ir import parse_scop
+from repro.machine import (DEFAULT_MACHINE, MachineModel, build_view,
+                           estimate, estimate_cached)
+from repro.transforms import (interchange, parallelize, tile, vectorize)
+
+BIG = {"NI": 1200, "NJ": 1200, "NK": 1200}
+
+
+class TestLoopView:
+    def test_gemm_view_trips(self, gemm):
+        view = build_view(gemm, gemm.statements[1], BIG)
+        assert [round(l.trip) for l in view.loops] == [1200, 1200, 1200]
+        assert view.total_iters == pytest.approx(1200 ** 3)
+
+    def test_tiled_view_has_tile_loops(self, gemm):
+        t = tile(gemm, [1], 32)
+        view = build_view(t, t.statements[1], BIG)
+        assert view.loops[0].is_tile
+        assert view.loops[0].trip == pytest.approx(38, abs=1)
+        assert view.loops[1].trip == pytest.approx(32, rel=0.05)
+
+    def test_triangular_correction(self, syrk):
+        view = build_view(syrk, syrk.statements[0], {"N": 1000, "M": 1000})
+        # j <= i halves the rectangular count
+        assert view.total_iters < 0.75 * 1000 * 1000
+        assert view.total_iters > 0.25 * 1000 * 1000
+
+    def test_guard_fraction(self):
+        p = parse_scop("""
+        scop g(N) {
+          array A[N] output;
+          for (i = 0; i < N; i++)
+            if (i >= 4)
+              A[i] = 1.0;
+        }
+        """)
+        from repro.machine import estimate_guard_fraction
+        frac = estimate_guard_fraction(p.statements[0], {"N": 8})
+        assert frac == pytest.approx(0.5)
+
+
+class TestLocalityEffects:
+    def test_bad_interchange_costs_more(self, gemm):
+        bad = interchange(gemm, 3, 5)  # k innermost: B walks columns
+        assert estimate(bad, BIG).cycles > 2 * estimate(gemm, BIG).cycles
+
+    def test_tiling_reduces_misses(self, gemm):
+        t = tile(gemm, [1, 3, 5], 32, stmts=["S2"])
+        assert estimate(t, BIG).total_misses < \
+            0.5 * estimate(gemm, BIG).total_misses
+
+    def test_reg_accum_reduces_cost(self, gemm):
+        from repro.transforms import accumulate_in_register
+        p = interchange(gemm, 3, 5, stmts=["S2"])  # k innermost
+        a = accumulate_in_register(p, "S2")
+        assert estimate(a, BIG).cycles <= estimate(p, BIG).cycles
+
+
+class TestParallelEffects:
+    def test_parallel_speeds_up(self, gemm):
+        p = parallelize(gemm, 1)
+        assert estimate(p, BIG).seconds < 0.2 * estimate(gemm, BIG).seconds
+
+    def test_memory_bound_capped(self, stream):
+        big = {"LEN": 8_000_000}
+        base = estimate(stream, big).seconds
+        par = estimate(parallelize(stream, 1), big).seconds
+        speedup = base / par
+        assert 2.0 < speedup < 1.5 * DEFAULT_MACHINE.mem_parallel_cap
+
+    def test_compute_bound_scales_further(self, gemm):
+        t = tile(gemm, [1, 3, 5], 32)
+        par = parallelize(t, 1)
+        speedup = estimate(t, BIG).seconds / estimate(par, BIG).seconds
+        assert speedup > DEFAULT_MACHINE.mem_parallel_cap
+
+    def test_tiny_trip_parallel_overhead(self):
+        p = parse_scop("""
+        scop tiny(N) {
+          array A[N] output;
+          for (i = 0; i < N; i++)
+            A[i] = A[i] + 1.0;
+        }
+        """)
+        small = {"N": 4}
+        par = parallelize(p, 1)
+        assert estimate(par, small).cycles > estimate(p, small).cycles
+
+
+class TestVectorEffects:
+    def test_unit_stride_vectorization_helps(self, stream):
+        big = {"LEN": 4_000_000}
+        machine = MachineModel(miss_penalty=2.0)  # compute-bound variant
+        v = vectorize(stream, 1)
+        assert estimate(v, big, machine).cycles < \
+            0.55 * estimate(stream, big, machine).cycles
+
+    def test_gather_loop_gets_no_benefit(self):
+        p = parse_scop("""
+        scop col(N) {
+          array A[N][N] output;
+          array B[N][N];
+          for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++)
+              A[j][i] = B[j][i] * 2.0;
+        }
+        """)
+        big = {"N": 1500}
+        v = vectorize(p, 3)
+        assert estimate(v, big).cycles == pytest.approx(
+            estimate(p, big).cycles, rel=0.01)
+
+    def test_tile_entry_overhead_charged(self, stream):
+        big = {"LEN": 4_000_000}
+        t = tile(stream, [1], 32)
+        assert estimate(t, big).cycles > estimate(stream, big).cycles
+
+
+class TestCaching:
+    def test_cache_returns_same_object(self, gemm):
+        a = estimate_cached(gemm, BIG)
+        b = estimate_cached(gemm, BIG)
+        assert a is b
+
+    def test_different_machines_not_conflated(self, gemm):
+        a = estimate_cached(gemm, BIG, DEFAULT_MACHINE)
+        b = estimate_cached(gemm, BIG, DEFAULT_MACHINE.with_threads(4))
+        assert a is not b

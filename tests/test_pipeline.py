@@ -1,0 +1,135 @@
+"""Feedback-pipeline integration tests."""
+
+import pytest
+
+from repro.compilers import GCC
+from repro.ir import parse_scop
+from repro.llm import DEEPSEEK_V3, GPT_4O, SimulatedLLM
+from repro.pipeline import (BaseLLMOptimizer, FeedbackPipeline, LoopRAG,
+                            STAGES)
+from repro.retrieval import Retriever
+from repro.synthesis import build_dataset
+
+PERF = {"NI": 1200, "NJ": 1200, "NK": 1200}
+TEST = {"NI": 7, "NJ": 6, "NK": 5}
+
+
+@pytest.fixture(scope="module")
+def retriever():
+    return Retriever(build_dataset(size=60, seed=31))
+
+
+@pytest.fixture(scope="module")
+def looprag(retriever):
+    return LoopRAG(retriever.dataset, DEEPSEEK_V3, seed=2,
+                   retriever=retriever)
+
+
+class TestLoopRAG:
+    def test_gemm_passes_and_speeds_up(self, looprag, gemm):
+        out = looprag.optimize(gemm, PERF, TEST)
+        assert out.passed
+        assert out.speedup > 3.0
+
+    def test_best_program_verified(self, looprag, gemm):
+        import numpy as np
+        from repro.runtime import run
+        out = looprag.optimize(gemm, PERF, TEST)
+        a = run(gemm, TEST)
+        b = run(out.best_program, TEST)
+        for name in a.outputs:
+            assert np.allclose(a.outputs[name], b.outputs[name],
+                               rtol=1e-6, atol=1e-9)
+
+    def test_deterministic(self, retriever, gemm):
+        a = LoopRAG(retriever.dataset, DEEPSEEK_V3, seed=7,
+                    retriever=retriever).optimize(gemm, PERF, TEST)
+        b = LoopRAG(retriever.dataset, DEEPSEEK_V3, seed=7,
+                    retriever=retriever).optimize(gemm, PERF, TEST)
+        assert a.speedup == b.speedup
+        assert a.passed == b.passed
+
+    def test_stage_snapshots_monotone(self, looprag, gemm):
+        out = looprag.optimize(gemm, PERF, TEST)
+        stages = dict(out.result.stage_pass)
+        order = [stages[s] for s in STAGES]
+        # once passing, later stages never regress
+        for earlier, later in zip(order, order[1:]):
+            assert later >= earlier
+
+    def test_candidates_recorded(self, looprag, gemm):
+        out = looprag.optimize(gemm, PERF, TEST)
+        assert len(out.result.candidates) >= 14  # two rounds of K=7
+
+    def test_demos_attached(self, looprag, gemm):
+        out = looprag.optimize(gemm, PERF, TEST)
+        assert len(out.result.demos) == 3
+
+
+class TestBaseLLM:
+    def test_runs_without_retrieval(self, gemm):
+        out = BaseLLMOptimizer(GPT_4O, seed=2).optimize(gemm, PERF, TEST)
+        assert out.result.candidates
+        # no feedback: only the first round of candidates exists
+        assert len(out.result.candidates) == 7
+
+    def test_stage_snapshots_flat(self, gemm):
+        out = BaseLLMOptimizer(GPT_4O, seed=2).optimize(gemm, PERF, TEST)
+        stages = dict(out.result.stage_pass)
+        assert len({stages[s] for s in STAGES}) == 1
+
+
+class TestTimeLimit:
+    def test_slow_candidates_classified_et(self, retriever):
+        # an artificial 1-microsecond budget makes everything time out
+        heavy = parse_scop("""
+        scop heavy(N) {
+          array A[N][N] output;
+          array B[N][N];
+          for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++)
+              A[i][j] += B[j][i] * 2.0;
+        }
+        """)
+        pipeline = FeedbackPipeline(
+            retriever=retriever,
+            llm_factory=lambda: SimulatedLLM(DEEPSEEK_V3, 2),
+            base_compiler=GCC,
+            time_limit=1e-9, seed=2)
+        result = pipeline.run(heavy, {"N": 2000}, {"N": 8})
+        assert not result.passed
+        assert result.speedup == 0.0
+
+
+class TestIssueClassification:
+    def test_all_issue_kinds_observable(self, retriever):
+        """Across a handful of kernels the pipeline must exhibit CE, IA
+        and passing candidates (the failure taxonomy of §4.3)."""
+        sources = [
+            ("k1", "scop k1(N) { array A[N][N] output; array B[N][N]; "
+                   "for (i = 1; i < N; i++) for (j = 1; j < N; j++) "
+                   "A[i][j] = A[i-1][j-1] + B[i][j]; }"),
+            ("k2", "scop k2(N) { array A[N][N] output; "
+                   "for (i = 0; i < N; i++) for (j = 1; j < N; j++) "
+                   "A[i][j] = A[i][j-1] * 0.5 + 1.0; }"),
+            ("k3", "scop k3(N) { array A[N][N] output; array B[N][N]; "
+                   "array C[N][N] output; "
+                   "for (i = 1; i < N; i++) { "
+                   "for (j = 1; j < N; j++) A[i][j] = A[i-1][j] + B[i][j]; "
+                   "for (j = 1; j < N; j++) C[i][j] = A[i][j] * B[i][j-1]; "
+                   "} }"),
+        ]
+        issues = set()
+        for name, src in sources:
+            program = parse_scop(src)
+            for seed in range(3):
+                pipeline = FeedbackPipeline(
+                    retriever=retriever,
+                    llm_factory=lambda s=seed: SimulatedLLM(GPT_4O, s),
+                    base_compiler=GCC, seed=seed)
+                result = pipeline.run(program, {"N": 1200}, {"N": 9})
+                for cand in result.candidates:
+                    if cand.issue:
+                        issues.add(cand.issue)
+        assert "CE" in issues
+        assert "IA" in issues

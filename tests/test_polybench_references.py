@@ -1,0 +1,172 @@
+"""Numerical reference checks: PolyBench kernels vs straight NumPy.
+
+These pin the *semantics* of the suite definitions — a mistranscribed
+subscript or loop bound in a kernel would silently corrupt every
+experiment built on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import allocate, run
+from repro.suites import polybench
+
+
+def _bench(name):
+    return polybench().get(name)
+
+
+def _fresh(name):
+    bench = _bench(name)
+    params = bench.test
+    return bench, params, allocate(bench.program, params)
+
+
+class TestLinearAlgebra:
+    def test_2mm(self):
+        bench, p, st = _fresh("2mm")
+        tmp = 1.5 * st["A"] @ st["B"]
+        D = st["D"] * 1.2 + tmp @ st["C"]
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["D"], D)
+
+    def test_3mm(self):
+        bench, p, st = _fresh("3mm")
+        G = (st["A"] @ st["B"]) @ (st["C"] @ st["D"])
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["G"], G)
+
+    def test_atax(self):
+        bench, p, st = _fresh("atax")
+        y = st["A"].T @ (st["A"] @ st["x"])
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["y"], y)
+
+    def test_bicg(self):
+        bench, p, st = _fresh("bicg")
+        s = st["A"].T @ st["r"]
+        q = st["A"] @ st["p"]
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["s"], s)
+        assert np.allclose(out["q"], q)
+
+    def test_mvt(self):
+        bench, p, st = _fresh("mvt")
+        x1 = st["x1"] + st["A"] @ st["y1"]
+        x2 = st["x2"] + st["A"].T @ st["y2"]
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["x1"], x1)
+        assert np.allclose(out["x2"], x2)
+
+    def test_gesummv(self):
+        bench, p, st = _fresh("gesummv")
+        y = 1.5 * (st["A"] @ st["x"]) + 1.2 * (st["B"] @ st["x"])
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["y"], y)
+
+    def test_gemver(self):
+        bench, p, st = _fresh("gemver")
+        A = st["A"] + np.outer(st["u1"], st["v1"]) \
+            + np.outer(st["u2"], st["v2"])
+        x = st["x"] + 1.2 * (A.T @ st["y"]) + st["z"]
+        w = st["w"] + 1.5 * (A @ x)
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["w"], w)
+
+    def test_trisolv(self):
+        bench, p, st = _fresh("trisolv")
+        n = p["N"]
+        L, b = st["L"], st["b"]
+        x = np.zeros(n)
+        for i in range(n):
+            x[i] = (b[i] - L[i, :i] @ x[:i]) / L[i, i]
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["x"], x)
+
+    def test_trmm(self):
+        bench, p, st = _fresh("trmm")
+        m, n = p["M"], p["N"]
+        A, B = st["A"], st["B"].copy()
+        for i in range(m):
+            for j in range(n):
+                B[i, j] += A[i + 1:, i] @ B[i + 1:, j]
+                B[i, j] *= 1.5
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["B"], B)
+
+
+class TestStencils:
+    def test_jacobi_1d(self):
+        bench, p, st = _fresh("jacobi-1d")
+        A, B = st["A"].copy(), st["B"].copy()
+        n = p["N"]
+        for _t in range(p["T"]):
+            B[1:n - 1] = 0.33333 * (A[:n - 2] + A[1:n - 1] + A[2:])
+            A[1:n - 1] = 0.33333 * (B[:n - 2] + B[1:n - 1] + B[2:])
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["A"], A)
+
+    def test_seidel_2d_sequential_sweep(self):
+        bench, p, st = _fresh("seidel-2d")
+        A = st["A"].copy()
+        n = p["N"]
+        for _t in range(p["T"]):
+            for i in range(1, n - 1):
+                for j in range(1, n - 1):
+                    A[i, j] = 0.2 * (
+                        A[i - 1, j - 1] + A[i - 1, j] + A[i - 1, j + 1]
+                        + A[i, j - 1] + A[i, j] + A[i, j + 1]
+                        + A[i + 1, j - 1] + A[i + 1, j]
+                        + A[i + 1, j + 1]) / 2.0
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["A"], A)
+
+    def test_fdtd_2d(self):
+        bench, p, st = _fresh("fdtd-2d")
+        ex, ey, hz = st["ex"].copy(), st["ey"].copy(), st["hz"].copy()
+        fict = st["fict"]
+        for t in range(p["T"]):
+            ey[0, :] = fict[t]
+            ey[1:, :] -= 0.5 * (hz[1:, :] - hz[:-1, :])
+            ex[:, 1:] -= 0.5 * (hz[:, 1:] - hz[:, :-1])
+            hz[:-1, :-1] -= 0.7 * (ex[:-1, 1:] - ex[:-1, :-1]
+                                   + ey[1:, :-1] - ey[:-1, :-1])
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["hz"], hz)
+        assert np.allclose(out["ex"], ex)
+        assert np.allclose(out["ey"], ey)
+
+
+class TestReductionsAndDP:
+    def test_covariance_zero_mean_columns(self):
+        bench, p, st = _fresh("covariance")
+        data = st["data"].copy()
+        mean = data.sum(axis=0) / 100.0
+        data -= mean
+        cov = np.zeros((p["M"], p["M"]))
+        for i in range(p["M"]):
+            for j in range(i, p["M"]):
+                cov[i, j] = data[:, i] @ data[:, j]
+                cov[j, i] = cov[i, j]
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["cov"], cov)
+
+    def test_floyd_warshall_arithmetic_variant(self):
+        bench, p, st = _fresh("floyd-warshall")
+        paths = st["paths"].copy()
+        n = p["N"]
+        for k in range(n):
+            for i in range(n):
+                for j in range(n):
+                    paths[i, j] += 0.001 * paths[i, k] * paths[k, j]
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["paths"], paths)
+
+    def test_doitgen(self):
+        bench, p, st = _fresh("doitgen")
+        A, C4 = st["A"].copy(), st["C4"]
+        for r in range(p["NR"]):
+            for q in range(p["NQ"]):
+                A[r, q, :] = A[r, q, :] @ C4
+        out = run(bench.program, p).outputs
+        assert np.allclose(out["A"], A)

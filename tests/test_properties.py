@@ -1,0 +1,136 @@
+"""Cross-module property-based tests (hypothesis).
+
+The central invariant of the whole system: *any* transformation sequence
+that passes the dependence-legality check leaves interpreted outputs
+unchanged (up to FP reassociation).  We fuzz that over synthesized
+programs and random intents.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import dependences, is_legal_schedule
+from repro.ir.schedule import align_schedules
+from repro.llm.adapt import Intent, materialize
+from repro.runtime import run
+from repro.synthesis import ExampleSynthesizer
+from repro.transforms import TransformError, pad_statements
+
+_SYNTH = ExampleSynthesizer(base_seed=777)
+_PARAMS = {"N": 9}
+_KINDS = ("tiling", "interchange", "fusion", "distribution", "skewing",
+          "shifting", "reg_accum")
+
+
+def _program(index: int):
+    return _SYNTH.synthesize(index % 24)
+
+
+def _outputs_close(a, b) -> bool:
+    for name in a.outputs:
+        if not np.allclose(a.outputs[name], b.outputs[name],
+                           rtol=1e-5, atol=1e-7, equal_nan=True):
+            return False
+    return True
+
+
+class TestLegalityImpliesEquivalence:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(index=st.integers(0, 200),
+           kinds=st.lists(st.sampled_from(_KINDS), min_size=1, max_size=3),
+           rng_seed=st.integers(0, 100))
+    def test_legal_random_recipes_preserve_outputs(self, index, kinds,
+                                                   rng_seed):
+        program = _program(index)
+        deps = dependences(program)
+        reference = run(program, _PARAMS)
+        candidate = program
+        rng = random.Random(rng_seed)
+        applied = 0
+        for kind in kinds:
+            step = materialize(Intent(kind=kind), candidate, rng)
+            if step is None:
+                continue
+            try:
+                trial = step.apply(candidate)
+            except TransformError:
+                continue
+            if not is_legal_schedule(trial, deps):
+                continue
+            candidate = trial
+            applied += 1
+        if applied == 0:
+            return
+        result = run(candidate, _PARAMS)
+        assert _outputs_close(reference, result), (
+            f"legal recipe broke {program.name}: "
+            f"{candidate.provenance}")
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(index=st.integers(0, 200))
+    def test_original_program_is_always_legal(self, index):
+        program = _program(index)
+        assert is_legal_schedule(program, dependences(program))
+
+
+class TestScheduleInvariants:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(index=st.integers(0, 200))
+    def test_padding_does_not_change_outputs(self, index):
+        program = _program(index)
+        padded = pad_statements(program)
+        a = run(program, _PARAMS)
+        b = run(padded, _PARAMS)
+        assert _outputs_close(a, b)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(index=st.integers(0, 200))
+    def test_aligned_schedules_same_width(self, index):
+        program = _program(index)
+        widths = {len(s.dims)
+                  for s in align_schedules(
+                      [st_.schedule for st_ in program.statements])}
+        assert len(widths) == 1
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(index=st.integers(0, 200), value=st.integers(6, 12))
+    def test_instance_count_matches_domain(self, index, value):
+        program = _program(index)
+        params = {"N": value}
+        expected = sum(s.domain.point_count(params)
+                       for s in program.statements
+                       if not s.guards)
+        guarded = sum(1 for s in program.statements if s.guards)
+        result = run(program, params, budget=500_000)
+        if guarded == 0:
+            assert result.instances == expected
+
+
+class TestPrinterParserProperty:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(index=st.integers(0, 200))
+    def test_roundtrip_preserves_checksum(self, index):
+        from repro.codegen import scop_body_to_c
+        from repro.ir import parse_scop
+        program = _program(index)
+        body = scop_body_to_c(program)
+        decls = []
+        for decl in program.arrays:
+            dims = "".join(f"[{d}]" for d in decl.dims)
+            out = " output" if decl.name in program.outputs else ""
+            decls.append(f"array {decl.name}{dims}{out};")
+        source = (f"scop rt({', '.join(program.params)}) {{\n"
+                  + "\n".join(decls) + "\n" + body + "\n}")
+        reparsed = parse_scop(source)
+        a = run(program, _PARAMS)
+        b = run(reparsed, _PARAMS)
+        assert a.checksum == pytest.approx(b.checksum)

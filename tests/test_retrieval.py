@@ -1,0 +1,153 @@
+"""BM25, loop features and LAScore tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import parse_scop
+from repro.retrieval import (BM25Index, Retriever, intersection_count,
+                             lascore, program_features, statement_features,
+                             tokenize)
+from repro.synthesis import build_dataset
+
+
+class TestTokenizer:
+    def test_identifiers_and_numbers(self):
+        assert "c" in tokenize("C[i][j] = 42;")
+        assert "42" in tokenize("C[i][j] = 42;")
+
+    def test_stopwords_dropped(self):
+        assert "for" not in tokenize("for (i = 0; i < N; i++)")
+
+    def test_compound_operators(self):
+        assert "+=" in tokenize("a[i] += b[i];")
+
+    def test_lowercased(self):
+        assert tokenize("ALPHA") == ["alpha"]
+
+
+class TestBM25:
+    def _index(self):
+        idx = BM25Index()
+        idx.add("a[i] = b[i] + c[i];")
+        idx.add("C[i][j] += A[i][k] * B[k][j];")
+        idx.add("x[i] = x[i-1] * 0.5;")
+        return idx
+
+    def test_exact_match_ranks_first(self):
+        idx = self._index()
+        top = idx.search("C[i][j] += A[i][k] * B[k][j];", top_n=3)
+        assert top[0].doc_id == 1
+
+    def test_score_zero_for_disjoint(self):
+        idx = self._index()
+        assert idx.score("zzz www", 0) == 0.0
+
+    def test_idf_decreases_with_frequency(self):
+        idx = self._index()
+        assert idx.idf("i") < idx.idf("k")
+
+    def test_search_respects_top_n(self):
+        idx = self._index()
+        assert len(idx.search("a b c x", top_n=2)) <= 2
+
+    def test_deterministic_tie_break(self):
+        idx = BM25Index()
+        idx.add("p q r")
+        idx.add("p q r")
+        top = idx.search("p", top_n=2)
+        assert [d.doc_id for d in top] == [0, 1]
+
+
+class TestFeatures:
+    def test_rename_invariance(self):
+        a = parse_scop("scop a(N) { array A[N] output; array B[N]; "
+                       "for (i = 0; i < N; i++) A[i] = B[i+1]; }")
+        b = parse_scop("scop b(N) { array Z[N] output; array Q[N]; "
+                       "for (t = 0; t < N; t++) Z[t] = Q[t+1]; }")
+        fa = statement_features(a.statements[0])
+        fb = statement_features(b.statements[0])
+        assert fa.features == fb.features
+
+    def test_index_offset_changes_features(self):
+        a = parse_scop("scop a(N) { array A[N] output; "
+                       "for (i = 1; i < N; i++) A[i] = A[i] + 1.0; }")
+        b = parse_scop("scop b(N) { array A[N] output; "
+                       "for (i = 1; i < N; i++) A[i] = A[i-1] + 1.0; }")
+        fa = statement_features(a.statements[0])
+        fb = statement_features(b.statements[0])
+        assert fa.counter("read_index") != fb.counter("read_index")
+
+    def test_intersection_count_multiset(self):
+        from collections import Counter
+        a = Counter({"x": 2, "y": 1})
+        b = Counter({"x": 1, "z": 4})
+        assert intersection_count(a, b) == 1
+
+    def test_program_features_per_statement(self, gemm):
+        feats = program_features(gemm)
+        assert [f.statement for f in feats] == ["S1", "S2"]
+
+
+class TestLAScore:
+    def test_identical_scores_highest(self, gemm, syrk):
+        fg = program_features(gemm)
+        fs = program_features(syrk)
+        self_score = lascore(fg, fg, 0.0).total
+        cross = lascore(fg, fs, 0.0).total
+        assert self_score > cross
+
+    def test_statement_mismatch_penalised(self, gemm, stream):
+        fg = program_features(gemm)
+        fv = program_features(stream)
+        score = lascore(fg, fv, 0.0)
+        assert score.mismatch > 0
+
+    def test_extra_features_penalised(self):
+        target = parse_scop("scop t(N) { array A[N] output; "
+                            "for (i = 0; i < N; i++) A[i] = A[i] + 1.0; }")
+        lean = parse_scop("scop l(N) { array Z[N] output; "
+                          "for (i = 0; i < N; i++) Z[i] = Z[i] + 2.0; }")
+        fat = parse_scop("scop f(N) { array Z[N] output; array Q[N]; "
+                         "for (i = 0; i < N; i++) "
+                         "Z[i] = Z[i] + Q[i+1] * Q[i-1]; }")
+        ft = program_features(target)
+        assert lascore(ft, program_features(lean), 0.0).total > \
+            lascore(ft, program_features(fat), 0.0).total
+
+    def test_base_score_added(self, gemm):
+        fg = program_features(gemm)
+        assert lascore(fg, fg, 5.0).total == \
+            lascore(fg, fg, 0.0).total + 5.0
+
+
+class TestRetriever:
+    @pytest.fixture(scope="class")
+    def retriever(self):
+        return Retriever(build_dataset(size=60, seed=13))
+
+    def test_rank_returns_top_n(self, retriever, gemm):
+        assert len(retriever.rank(gemm, top_n=5)) == 5
+
+    def test_methods_differ(self, retriever, gemm):
+        loop = [d.entry.name for d in retriever.rank(gemm, "loop-aware")]
+        bm25 = [d.entry.name for d in retriever.rank(gemm, "bm25")]
+        weighted = [d.entry.name
+                    for d in retriever.rank(gemm, "weighted")]
+        assert loop != bm25 or loop != weighted
+
+    def test_unknown_method_rejected(self, retriever, gemm):
+        with pytest.raises(ValueError):
+            retriever.rank(gemm, "dense-embedding")
+
+    def test_demonstrations_sampled_from_top(self, retriever, gemm):
+        rng = random.Random(0)
+        demos = retriever.demonstrations(gemm, rng)
+        top10 = {d.entry.name for d in retriever.rank(gemm, top_n=10)}
+        assert len(demos) == 3
+        assert all(d.entry.name in top10 for d in demos)
+
+    def test_scores_sorted_descending(self, retriever, gemm):
+        scores = [d.score for d in retriever.rank(gemm, "loop-aware")]
+        assert scores == sorted(scores, reverse=True)

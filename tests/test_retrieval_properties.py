@@ -1,0 +1,131 @@
+"""Property-based tests on the retrieval scoring machinery."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.retrieval import (BM25Index, feature_score, intersection_count,
+                             lascore, statement_mismatch, tokenize)
+from repro.retrieval.features import StatementFeatures
+from repro.retrieval.lascore import (DEFAULT_PENALTY_WEIGHTS,
+                                     DEFAULT_REWARD_WEIGHTS)
+
+words = st.text(alphabet="abcxyz", min_size=1, max_size=4)
+documents = st.lists(words, min_size=1, max_size=12).map(" ".join)
+
+
+class TestBM25Properties:
+    @given(st.lists(documents, min_size=2, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_scores_non_negative(self, docs):
+        index = BM25Index()
+        for doc in docs:
+            index.add(doc)
+        for doc_id in range(len(docs)):
+            assert index.score(docs[0], doc_id) >= 0.0
+
+    @given(st.lists(documents, min_size=2, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_search_is_sorted(self, docs):
+        index = BM25Index()
+        for doc in docs:
+            index.add(doc)
+        hits = index.search(docs[0], top_n=len(docs))
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    @given(documents, documents)
+    @settings(max_examples=40, deadline=None)
+    def test_self_query_at_least_as_good(self, a, b):
+        """A document scores its own text at least as high as a disjoint
+        query would score it."""
+        index = BM25Index()
+        index.add(a)
+        index.add(b)
+        assert index.score(a, 0) >= index.score("qqq www", 0)
+
+
+def _feats(items_by_kind) -> StatementFeatures:
+    packed = []
+    for kind in ("schedule", "write_index", "read_index"):
+        counter = Counter(items_by_kind.get(kind, {}))
+        packed.append((kind, tuple(sorted(counter.items(),
+                                          key=lambda kv: repr(kv[0])))))
+    return StatementFeatures(statement="S", features=tuple(packed))
+
+
+feature_items = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]), st.integers(1, 3), max_size=4)
+feature_sets = st.fixed_dictionaries({
+    "schedule": feature_items,
+    "write_index": feature_items,
+    "read_index": feature_items,
+})
+
+
+class TestLAScoreProperties:
+    @given(feature_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_self_similarity_is_maximal(self, items):
+        """No example can outscore the target itself (penalties only ever
+        subtract from the perfect-match reward)."""
+        target = [_feats(items)]
+        self_score = feature_score(target, target,
+                                   DEFAULT_REWARD_WEIGHTS,
+                                   DEFAULT_PENALTY_WEIGHTS)
+        stripped = [_feats({})]
+        assert self_score >= feature_score(target, stripped,
+                                           DEFAULT_REWARD_WEIGHTS,
+                                           DEFAULT_PENALTY_WEIGHTS)
+
+    @given(feature_sets, feature_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_score_bounded_by_self(self, t_items, e_items):
+        target = [_feats(t_items)]
+        example = [_feats(e_items)]
+        self_score = feature_score(target, target,
+                                   DEFAULT_REWARD_WEIGHTS,
+                                   DEFAULT_PENALTY_WEIGHTS)
+        assert feature_score(target, example,
+                             DEFAULT_REWARD_WEIGHTS,
+                             DEFAULT_PENALTY_WEIGHTS) <= self_score + 1e-9
+
+    @given(st.integers(0, 6), st.integers(0, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_mismatch_symmetric_in_counts(self, n, m):
+        target = [_feats({})] * n
+        example = [_feats({})] * m
+        assert statement_mismatch(target, example,
+                                  DEFAULT_PENALTY_WEIGHTS) == \
+            statement_mismatch(example, target, DEFAULT_PENALTY_WEIGHTS)
+
+    @given(feature_sets, st.floats(0.0, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_base_score_shifts_total_linearly(self, items, base):
+        target = [_feats(items)]
+        assert lascore(target, target, base).total == pytest.approx(
+            lascore(target, target, 0.0).total + base)
+
+
+class TestIntersection:
+    @given(feature_items, feature_items)
+    @settings(max_examples=50, deadline=None)
+    def test_commutative(self, a, b):
+        assert intersection_count(Counter(a), Counter(b)) == \
+            intersection_count(Counter(b), Counter(a))
+
+    @given(feature_items)
+    @settings(max_examples=50, deadline=None)
+    def test_self_intersection_is_size(self, a):
+        counter = Counter(a)
+        assert intersection_count(counter, counter) == \
+            sum(counter.values())
+
+
+class TestTokenizerProperties:
+    @given(documents)
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent_on_own_output(self, text):
+        once = tokenize(text)
+        assert tokenize(" ".join(once)) == once

@@ -1,0 +1,86 @@
+"""Schedule-tree construction tests."""
+
+import pytest
+
+from repro.ir import parse_scop
+from repro.ir.schedtree import (BandNode, LeafNode, SequenceNode,
+                                fusion_partners, render_tree,
+                                schedule_tree, tree_depth)
+from repro.transforms import fuse, interchange, tile
+
+
+class TestStructure:
+    def test_gemm_tree_shape(self, gemm):
+        tree = schedule_tree(gemm)
+        # outermost: the shared i band
+        assert isinstance(tree, BandNode) and tree.expr == "i"
+        # inside: a sequence of S1's j loop and S2's k/j nest
+        assert isinstance(tree.child, SequenceNode)
+        assert len(tree.child.children) == 2
+
+    def test_statement_order_preserved(self, gemm):
+        assert schedule_tree(gemm).statements() == ("S1", "S2")
+
+    def test_stream_single_leaf_chain(self, stream):
+        tree = schedule_tree(stream)
+        assert isinstance(tree, BandNode)
+        assert isinstance(tree.child, LeafNode)
+
+    def test_jacobi_sequence_under_time_band(self, jacobi2d):
+        tree = schedule_tree(jacobi2d)
+        assert isinstance(tree, BandNode) and tree.expr == "t"
+        assert isinstance(tree.child, SequenceNode)
+
+    def test_tiled_band_marked(self, stream):
+        tree = schedule_tree(tile(stream, [1], 8))
+        assert isinstance(tree, BandNode)
+        assert tree.is_tile
+
+    def test_render_contains_nodes(self, gemm):
+        text = render_tree(gemm)
+        assert "band [i]" in text
+        assert "leaf S1" in text and "leaf S2" in text
+        assert "sequence" in text
+
+
+class TestFusionView:
+    def test_unfused_gemm_partners(self, gemm):
+        partners = fusion_partners(gemm)
+        assert partners["S1"] == ("S1",)
+        assert partners["S2"] == ("S2",)
+
+    def test_fused_statements_share_band(self, gemm):
+        aligned = interchange(gemm, 3, 5, stmts=["S2"])
+        fused = fuse(aligned, 2)
+        partners = fusion_partners(fused)
+        assert set(partners["S1"]) == {"S1", "S2"}
+
+    def test_depths(self, gemm):
+        assert tree_depth(gemm, "S1") == 2
+        assert tree_depth(gemm, "S2") == 3
+
+    def test_depth_after_tiling(self, stream):
+        tiled = tile(stream, [1], 8)
+        assert tree_depth(tiled, "S1") == 2  # tile band + point band
+
+    def test_unknown_statement(self, gemm):
+        with pytest.raises(KeyError):
+            tree_depth(gemm, "S99")
+
+
+class TestSiblingNameReuse:
+    def test_sibling_loops_not_merged(self):
+        # two sibling loops both named i must be two bands in a sequence
+        p = parse_scop("""
+        scop two(N) {
+          array A[N] output;
+          array B[N] output;
+          for (i = 0; i < N; i++)
+            A[i] = A[i] + 1.0;
+          for (i = 0; i < N; i++)
+            B[i] = B[i] * 2.0;
+        }
+        """)
+        tree = schedule_tree(p)
+        assert isinstance(tree, SequenceNode)
+        assert all(isinstance(c, BandNode) for c in tree.children)

@@ -1,0 +1,110 @@
+"""Benchmark-suite integrity tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dependences
+from repro.ir import validate_program
+from repro.runtime import run
+from repro.suites import lore, polybench, tsvc
+
+
+@pytest.fixture(scope="module")
+def all_suites():
+    return [polybench(), tsvc(), lore()]
+
+
+class TestCounts:
+    def test_paper_counts(self, all_suites):
+        sizes = {s.name: len(s) for s in all_suites}
+        assert sizes == {"polybench": 30, "tsvc": 84, "lore": 49}
+
+    def test_unique_names(self, all_suites):
+        for suite in all_suites:
+            names = suite.names()
+            assert len(names) == len(set(names))
+
+
+class TestPolybench:
+    def test_every_kernel_runs(self):
+        for bench in polybench():
+            result = run(bench.program, bench.test, budget=300_000)
+            assert result.instances > 0
+            for arr in result.outputs.values():
+                assert np.isfinite(arr).all()
+
+    def test_every_kernel_validates(self):
+        for bench in polybench():
+            validate_program(bench.program)
+
+    def test_known_structures(self):
+        suite = polybench()
+        assert suite.get("gemm").program.max_depth == 3
+        assert suite.get("doitgen").program.max_depth == 4
+        assert len(suite.get("3mm").program.statements) == 6
+        assert suite.get("seidel-2d").program.max_depth == 3
+
+    def test_syrk_matches_paper_schedules(self):
+        syrk = polybench().get("syrk").program
+        assert str(syrk.statements[0].schedule) == "[0, i, 0, j, 0]"
+        assert str(syrk.statements[1].schedule) == "[0, i, 1, k, 0, j, 0]"
+
+    def test_stencils_have_cross_statement_deps(self):
+        for name in ("jacobi-2d", "jacobi-1d", "heat-3d"):
+            deps = dependences(polybench().get(name).program)
+            cross = [d for d in deps if d.source != d.target]
+            assert cross
+
+
+class TestTsvc:
+    def test_every_kernel_runs(self):
+        for bench in tsvc():
+            result = run(bench.program, bench.test, budget=300_000)
+            assert result.instances > 0
+
+    def test_dummy_call_tags(self):
+        for bench in tsvc():
+            assert "dummy-call" in bench.program.tags
+            assert "pure-annotated" in bench.program.tags
+
+    def test_s233_shape(self):
+        s233 = tsvc().get("s233").program
+        assert len(s233.statements) == 2
+        deps = dependences(s233)
+        carried = {d.source for d in deps if d.loop_carried}
+        assert carried == {"S1", "S2"}
+
+    def test_reductions_present(self):
+        s311 = tsvc().get("s311").program
+        assert s311.statements[0].body.op == "+="
+
+    def test_recurrences_not_parallel(self):
+        from repro.analysis import is_parallel_dim
+        s321 = tsvc().get("s321").program
+        assert not is_parallel_dim(s321, dependences(s321), 1)
+
+
+class TestLore:
+    def test_every_kernel_runs(self):
+        for bench in lore():
+            result = run(bench.program, bench.test, budget=300_000)
+            assert result.instances > 0
+
+    def test_outputs_are_written_arrays(self):
+        for bench in lore():
+            written = {s.write().array for s in bench.program.statements}
+            assert set(bench.program.outputs) <= written | {"u"}
+
+    def test_mix_of_depths(self):
+        depths = {b.program.max_depth for b in lore()}
+        assert {1, 2, 3} <= depths
+
+
+class TestSubset:
+    def test_subset_filters(self):
+        suite = polybench().subset(["gemm", "syrk"])
+        assert suite.names() == ["gemm", "syrk"]
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            polybench().get("nonexistent")

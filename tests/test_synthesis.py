@@ -1,0 +1,128 @@
+"""Parameter-driven synthesis and COLA-Gen tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import dependences, extract_properties
+from repro.ir import validate_program
+from repro.runtime import run
+from repro.synthesis import (ColaGenSynthesizer, ExampleSynthesizer,
+                             LoopParameters, build_dataset,
+                             transformation_kinds)
+
+
+class TestParameters:
+    def test_sample_within_ranges(self):
+        import random
+        rng = random.Random(0)
+        for _ in range(100):
+            p = LoopParameters.sample(rng)
+            assert p.iterator_bound in (0.2, 0.4, 0.6)
+            assert 2 <= p.loop_depth <= 4
+            assert 1 <= p.statement_index <= 3
+            assert 1 <= p.n_statements <= 6
+            assert 1 <= p.dep_distance <= 2
+            assert 1 <= p.read_dep <= 3
+            assert p.write_dep in (0.2, 0.4, 0.6)
+            assert 1 <= p.array_list <= 3
+            assert p.read_array in (1, 3, 5)
+            assert 1 <= p.array_indexes <= 2
+
+    def test_colagen_defaults(self):
+        import random
+        p = LoopParameters.colagen_defaults(random.Random(0))
+        assert p.loop_depth == 2
+        assert p.n_statements == 1
+        assert p.read_array == 1
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        synth = ExampleSynthesizer(base_seed=5)
+        a = synth.synthesize(3)
+        b = ExampleSynthesizer(base_seed=5).synthesize(3)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_seeds_differ(self):
+        a = ExampleSynthesizer(base_seed=1).synthesize(3)
+        b = ExampleSynthesizer(base_seed=2).synthesize(3)
+        assert a.fingerprint() != b.fingerprint()
+
+    @pytest.mark.parametrize("index", range(12))
+    def test_generated_programs_are_legal(self, index):
+        program = ExampleSynthesizer(base_seed=9).synthesize(index)
+        validate_program(program)
+        result = run(program, {"N": 9}, budget=100_000)
+        assert result.instances > 0
+
+    def test_generated_programs_have_outputs(self):
+        program = ExampleSynthesizer(base_seed=9).synthesize(1)
+        assert program.outputs
+
+    def test_bounds_leave_safety_margin(self):
+        program = ExampleSynthesizer(base_seed=9).synthesize(2)
+        for stmt in program.statements:
+            for spec in stmt.domain.iters:
+                assert all(lo.const >= 2 or lo.variables()
+                           for lo in spec.lowers)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 500))
+    def test_any_index_yields_runnable_program(self, index):
+        synth = ExampleSynthesizer(base_seed=123)
+        try:
+            program = synth.synthesize(index)
+        except Exception:
+            return  # a failed sample is allowed; a crash-on-run is not
+        run(program, {"N": 9}, budget=100_000)
+
+
+class TestColaGen:
+    def test_single_statement_perfect(self):
+        program = ColaGenSynthesizer(base_seed=0).synthesize(1)
+        assert len(program.statements) == 1
+        assert program.max_depth == 2
+
+    def test_always_loop_carried(self):
+        for idx in range(10):
+            program = ColaGenSynthesizer(base_seed=0).synthesize(idx)
+            deps = dependences(program)
+            assert any(d.loop_carried for d in deps)
+
+    def test_runs(self):
+        program = ColaGenSynthesizer(base_seed=0).synthesize(4)
+        run(program, {"N": 9})
+
+
+class TestDataset:
+    def test_build_small(self):
+        ds = build_dataset(size=12, seed=3)
+        assert len(ds) == 12
+        for entry in ds:
+            assert entry.example_text
+            assert entry.optimized_text
+            assert entry.recipe is not None
+
+    def test_kinds_present(self):
+        ds = build_dataset(size=60, seed=3)
+        kinds = transformation_kinds(ds)
+        assert kinds.get("tiling", 0) > 0
+        assert kinds.get("fusion", 0) > 0
+
+    def test_optimized_versions_equivalent(self):
+        import numpy as np
+        ds = build_dataset(size=8, seed=3)
+        for entry in ds:
+            a = run(entry.example, {"N": 9})
+            b = run(entry.optimized, {"N": 9})
+            for name in a.outputs:
+                assert np.allclose(a.outputs[name], b.outputs[name])
+
+    def test_properties_attached(self):
+        ds = build_dataset(size=5, seed=3)
+        for entry in ds:
+            assert entry.properties.n_statements >= 1
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ValueError):
+            build_dataset(size=3, generator="yarpgen")

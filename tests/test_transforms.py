@@ -1,0 +1,233 @@
+"""Semantics-preservation and error tests for all loop transformations.
+
+The key invariant: a transformation kept by the legality checker must leave
+interpreted outputs bit-identical.  Conversely, transformations flagged
+illegal are allowed to (and usually do) change outputs — that asymmetry is
+what differential testing in the pipeline relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dependences, is_legal_schedule
+from repro.ir import parse_scop
+from repro.runtime import run
+from repro.transforms import (TransformError, TransformRecipe, TransformStep,
+                              accumulate_in_register, distribute, fuse,
+                              interchange, parallelize, shift, skew, tile,
+                              vectorize)
+
+GEMM_PARAMS = {"NI": 6, "NJ": 5, "NK": 4}
+SYRK_PARAMS = {"N": 8, "M": 5}
+
+
+def outputs_equal(p, q, params):
+    a = run(p, params)
+    b = run(q, params)
+    return all(np.allclose(a.outputs[k], b.outputs[k]) for k in a.outputs)
+
+
+class TestInterchange:
+    def test_preserves_when_legal(self, gemm):
+        t = interchange(gemm, 3, 5, stmts=["S2"])
+        assert outputs_equal(gemm, t, GEMM_PARAMS)
+
+    def test_illegal_changes_output(self, recur):
+        # no second loop: interchange must refuse entirely
+        with pytest.raises(TransformError):
+            interchange(recur, 1, 1)
+
+    def test_identity_columns_rejected(self, gemm):
+        with pytest.raises(TransformError):
+            interchange(gemm, 2, 2)
+
+    def test_const_only_columns_rejected(self, gemm):
+        with pytest.raises(TransformError):
+            interchange(gemm, 0, 2)
+
+    def test_out_of_range(self, gemm):
+        with pytest.raises(TransformError):
+            interchange(gemm, 1, 99)
+
+    def test_unknown_statement(self, gemm):
+        with pytest.raises(TransformError):
+            interchange(gemm, 1, 3, stmts=["S9"])
+
+
+class TestTiling:
+    @pytest.mark.parametrize("size", [2, 3, 8])
+    def test_single_loop_tile_preserves(self, stream, size):
+        t = tile(stream, [1], size)
+        assert outputs_equal(stream, t, {"LEN": 23})
+
+    def test_band_tile_preserves(self, syrk):
+        # align S2 (k<->j) then fuse, then tiling the i/j band is legal
+        p = interchange(syrk, 3, 5, stmts=["S2"])
+        p = fuse(p, 2)
+        t = tile(p, [1, 3], 4)
+        assert is_legal_schedule(t, dependences(syrk))
+        assert outputs_equal(syrk, t, SYRK_PARAMS)
+
+    def test_recurrence_tile_still_correct(self, recur):
+        # tiling a sequential loop keeps relative order (floor is monotone)
+        t = tile(recur, [1], 4)
+        assert outputs_equal(recur, t, {"LEN": 19})
+
+    def test_tile_size_one_rejected(self, stream):
+        with pytest.raises(TransformError):
+            tile(stream, [1], 1)
+
+    def test_band_must_increase(self, gemm):
+        with pytest.raises(TransformError):
+            tile(gemm, [3, 1], 4)
+
+    def test_size_count_mismatch(self, gemm):
+        with pytest.raises(TransformError):
+            tile(gemm, [1, 3], [4])
+
+    def test_pragmas_shift_on_insert(self, stream):
+        p = parallelize(stream, 1)
+        t = tile(p, [1], 8)
+        assert t.parallel_dims == frozenset({2})
+
+
+class TestFusionDistribution:
+    def test_fuse_then_distribute_roundtrip(self, jacobi2d):
+        f = fuse(jacobi2d, 2)
+        d = distribute(f, 2)
+        # jacobi fusion is illegal; but fuse->distribute must restore a
+        # total order equivalent to the original program
+        assert outputs_equal(jacobi2d, d, {"T": 2, "N": 7})
+
+    def test_fusion_on_loop_column_rejected(self, jacobi2d):
+        with pytest.raises(TransformError):
+            fuse(jacobi2d, 1)
+
+    def test_fusion_needs_two_statements(self, stream):
+        with pytest.raises(TransformError):
+            fuse(stream, 0)
+
+    def test_already_fused_rejected(self, jacobi2d):
+        f = fuse(jacobi2d, 2)
+        with pytest.raises(TransformError):
+            fuse(f, 2)
+
+    def test_gemm_fusion_after_alignment_preserves(self, gemm):
+        p = interchange(gemm, 3, 5, stmts=["S2"])
+        f = fuse(p, 2)
+        assert is_legal_schedule(f, dependences(gemm))
+        assert outputs_equal(gemm, f, GEMM_PARAMS)
+
+    def test_distribute_gemm_statements(self, gemm):
+        d = distribute(gemm, 0)
+        assert outputs_equal(gemm, d, GEMM_PARAMS)
+
+
+class TestSkewShift:
+    def test_skew_preserves_semantics(self, jacobi2d):
+        # skewing i by t is a legal wavefront reindexing
+        s = skew(jacobi2d, 3, 1, 1)
+        assert is_legal_schedule(s, dependences(jacobi2d))
+        assert outputs_equal(jacobi2d, s, {"T": 2, "N": 7})
+
+    def test_skew_zero_factor_rejected(self, jacobi2d):
+        with pytest.raises(TransformError):
+            skew(jacobi2d, 3, 1, 0)
+
+    def test_skew_same_column_rejected(self, jacobi2d):
+        with pytest.raises(TransformError):
+            skew(jacobi2d, 3, 3, 1)
+
+    def test_shift_preserves_when_legal(self, jacobi2d):
+        s = shift(jacobi2d, "S2", 1, 0) if False else shift(
+            jacobi2d, "S2", 3, 2)
+        # shifting S2's i dimension delays it; legality may or may not hold,
+        # but the *executed* program must match the schedule order exactly.
+        deps = dependences(jacobi2d)
+        if is_legal_schedule(s, deps):
+            assert outputs_equal(jacobi2d, s, {"T": 2, "N": 7})
+
+    def test_shift_zero_rejected(self, jacobi2d):
+        with pytest.raises(TransformError):
+            shift(jacobi2d, "S1", 1, 0)
+
+    def test_shift_const_column_rejected(self, jacobi2d):
+        with pytest.raises(TransformError):
+            shift(jacobi2d, "S1", 0, 1)
+
+
+class TestPragmas:
+    def test_parallel_marks_column(self, stream):
+        p = parallelize(stream, 1)
+        assert p.parallel_dims == frozenset({1})
+
+    def test_parallel_twice_rejected(self, stream):
+        with pytest.raises(TransformError):
+            parallelize(parallelize(stream, 1), 1)
+
+    def test_vectorize_marks_column(self, stream):
+        v = vectorize(stream, 1)
+        assert v.vector_dims == frozenset({1})
+
+    def test_pragma_does_not_change_semantics(self, gemm):
+        p = vectorize(parallelize(gemm, 1), 5)
+        assert outputs_equal(gemm, p, GEMM_PARAMS)
+
+    def test_const_column_rejected(self, gemm):
+        with pytest.raises(TransformError):
+            parallelize(gemm, 0)
+
+
+class TestRegAccum:
+    def test_marks_reduction(self, gemm):
+        # S2's innermost loop is j and C[i][j] varies with j -> refuse
+        with pytest.raises(TransformError):
+            accumulate_in_register(gemm, "S2")
+
+    def test_accepts_k_inner_reduction(self, gemm):
+        p = interchange(gemm, 3, 5, stmts=["S2"])  # j middle, k inner
+        a = accumulate_in_register(p, "S2")
+        assert a.statement("S2").reg_accum
+        assert outputs_equal(gemm, a, GEMM_PARAMS)
+
+    def test_plain_assign_rejected(self, stream):
+        with pytest.raises(TransformError):
+            accumulate_in_register(stream, "S1")
+
+
+class TestRecipes:
+    def test_apply_sequence(self, gemm):
+        recipe = TransformRecipe.of(
+            TransformStep.make("interchange", col_a=3, col_b=5,
+                               stmts=["S2"]),
+            TransformStep.make("fusion", col=2),
+            TransformStep.make("tiling", columns=[1, 3], sizes=[4, 4]),
+            TransformStep.make("parallel", col=1),
+        )
+        out = recipe.apply(gemm)
+        assert outputs_equal(gemm, out, GEMM_PARAMS)
+        assert out.parallel_dims == frozenset({1})
+
+    def test_kinds_deduplicated(self):
+        r = TransformRecipe.of(
+            TransformStep.make("tiling", columns=[1], sizes=[4]),
+            TransformStep.make("tiling", columns=[2], sizes=[4]))
+        assert r.kinds() == ("tiling",)
+
+    def test_try_apply_skips_bad_steps(self, stream):
+        recipe = TransformRecipe.of(
+            TransformStep.make("fusion", col=0),     # needs 2 statements
+            TransformStep.make("parallel", col=1))
+        out, skipped = recipe.try_apply(stream)
+        assert skipped == [0]
+        assert out.parallel_dims == frozenset({1})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TransformError):
+            TransformStep.make("loop-unswitching", col=1)
+
+    def test_without(self):
+        r = TransformRecipe.of(
+            TransformStep.make("parallel", col=1),
+            TransformStep.make("vectorize", col=1))
+        assert r.without(0).steps[0].kind == "vectorize"
