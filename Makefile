@@ -1,0 +1,22 @@
+# Convenience targets (see README.md).  Everything runs from the repo
+# root with PYTHONPATH=src; no build step.
+
+PYTHON ?= python
+JOBS ?= 4
+
+export PYTHONPATH := src
+
+.PHONY: test test-quick bench clean-cache
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-quick:
+	REPRO_SUITE_LIMIT=3 $(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m repro bench --suite all --system looprag-deepseek \
+	    --system pluto --jobs $(JOBS)
+
+clean-cache:
+	rm -rf .repro_cache

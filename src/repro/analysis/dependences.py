@@ -17,6 +17,7 @@ sizes, it is reliable on the benchmark/synthesized programs used here
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
@@ -32,9 +33,13 @@ Instance = Tuple[int, Tuple[Tuple[str, int], ...]]
 
 _MAX_WITNESSES = 24
 #: default concrete parameter value for concretization: big enough that
-#: distance-2 dependences remain visible behind margin-2 loop bounds and
-#: that size-2 legality tiles actually cross boundaries
-_DEFAULT_PARAM = 8
+#: distance-2 dependences remain visible behind margin-2 loop bounds,
+#: that size-2 legality tiles actually cross boundaries, and that
+#: non-uniform dependence classes (distances that grow with the bounds,
+#: e.g. through coupled ``i+j`` subscripts) are represented — at 8 one
+#: synthesized program's interchange-breaking dependence only appears
+#: from 9 upward, so legality at 8 blessed an output-changing swap
+_DEFAULT_PARAM = 10
 _ANALYSIS_BUDGET = 200_000
 
 
@@ -131,8 +136,12 @@ def compute_dependences(program: Program,
         if len(bucket) < _MAX_WITNESSES:
             bucket.append((src, tgt))
         else:
-            # keep the class but rotate witnesses for diversity
-            bucket[hash(tgt) % _MAX_WITNESSES] = (src, tgt)
+            # keep the class but rotate witnesses for diversity; the slot
+            # must not come from hash() — str hashing is randomized per
+            # process, and a hash-seed-dependent witness sample makes
+            # legality verdicts (and thus every table) vary across runs
+            bucket[zlib.crc32(repr(tgt).encode())
+                   % _MAX_WITNESSES] = (src, tgt)
         s_map = dict(src[1])
         t_map = dict(tgt[1])
         vec = tuple(t_map[n] - s_map[n] for n in _common(src[0], tgt[0]))

@@ -5,6 +5,7 @@ Commands
 optimize FILE     run LOOPRAG on a SCoP source file and print the result
 compilers FILE    run every baseline compiler on a SCoP source file
 experiment ID     regenerate one table/figure (tab1..tab7, fig1..fig14)
+bench             run systems over suites (parallel, store-backed)
 suites            list the benchmark suites and their kernels
 synthesize        build a demonstration corpus and report its statistics
 
@@ -102,6 +103,67 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+#: `repro bench --system` tokens -> plan factories
+BENCH_LLM_SYSTEMS = ("looprag-deepseek", "looprag-gpt4",
+                     "base-deepseek", "base-gpt4")
+BENCH_COMPILERS = ("pluto", "polly", "graphite", "perspective", "icx")
+BENCH_SUITES = ("polybench", "tsvc", "lore")
+
+
+def _bench_plan(system: str, suite: str, base: str):
+    from .evaluation.harness import (base_llm_plan, compiler_plan,
+                                     looprag_plan)
+
+    if system in BENCH_COMPILERS:
+        return compiler_plan(suite, system)
+    kind, _sep, persona = system.partition("-")
+    if kind == "looprag":
+        return looprag_plan(suite, persona, base)
+    return base_llm_plan(suite, persona, base)
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    if args.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
+    if args.cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    if args.limit is not None:
+        os.environ["REPRO_SUITE_LIMIT"] = str(args.limit)
+
+    from .evaluation.harness import run_plans
+    from .evaluation.reporting import (bench_report, render_bench,
+                                       render_json)
+    from .evaluation.store import active_store, cache_stats
+
+    wanted = args.suite or ["polybench"]
+    suites = list(BENCH_SUITES) if "all" in wanted else wanted
+    systems = args.system or ["looprag-deepseek"]
+    plans = [_bench_plan(system, suite, args.base)
+             for suite in suites for system in systems]
+    results = run_plans(plans, jobs=args.jobs)
+    report = bench_report([(plan.label(), plan.suite, res)
+                           for plan, res in zip(plans, results)])
+
+    text = render_json(report)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+        print(render_bench(report))
+    elif args.format == "json":
+        print(text)
+    else:
+        print(render_bench(report))
+
+    stats = cache_stats()
+    store = active_store()
+    where = store.path if store is not None else "disabled"
+    print(f"# cache: {stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['writes']} writes ({where})", file=sys.stderr)
+    return 0
+
+
 def cmd_suites(args: argparse.Namespace) -> int:
     from .suites import SUITES
 
@@ -167,6 +229,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="regenerate one table or figure")
     exp.add_argument("id")
     exp.set_defaults(func=cmd_experiment)
+
+    ben = sub.add_parser(
+        "bench", help="run systems over suites (parallel, store-backed)")
+    ben.add_argument("--suite", action="append",
+                     choices=BENCH_SUITES + ("all",),
+                     help="suite to run (repeatable; default: polybench)")
+    ben.add_argument("--system", action="append",
+                     choices=BENCH_LLM_SYSTEMS + BENCH_COMPILERS,
+                     help="system to run (repeatable; "
+                          "default: looprag-deepseek)")
+    ben.add_argument("--base", default="gcc",
+                     choices=("gcc", "clang", "icx"),
+                     help="base compiler for the LLM systems")
+    ben.add_argument("-j", "--jobs", type=int, default=None,
+                     help="parallel workers (default: REPRO_JOBS or "
+                          "1 = serial)")
+    ben.add_argument("--no-cache", action="store_true",
+                     help="bypass the persistent result store")
+    ben.add_argument("--cache-dir", metavar="DIR",
+                     help="result store location (default .repro_cache/)")
+    ben.add_argument("--limit", type=int, metavar="N",
+                     help="subsample each suite to N kernels "
+                          "(sets REPRO_SUITE_LIMIT)")
+    ben.add_argument("--json", metavar="FILE",
+                     help="also write the JSON report to FILE")
+    ben.add_argument("--format", default="table",
+                     choices=("table", "json"),
+                     help="stdout format (default: table)")
+    ben.set_defaults(func=cmd_bench, suite=None, system=None)
 
     ste = sub.add_parser("suites", help="list benchmark suites")
     ste.add_argument("-v", "--verbose", action="store_true")

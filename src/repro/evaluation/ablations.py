@@ -17,7 +17,8 @@ from ..machine.model import DEFAULT_MACHINE
 from ..pipeline.looprag import LoopRAG
 from ..synthesis.dataset import cached_dataset
 from .experiments import ExperimentResult
-from .harness import run_looprag, shared_retriever, suites
+from .harness import (evaluate_suite, looprag_plan, run_looprag,
+                      run_plans, shared_retriever, suites)
 from .metrics import average_speedup, pass_at_k
 
 
@@ -52,18 +53,14 @@ def ablation_tile_size(sizes=(8, 16, 32, 64, 128)) -> ExperimentResult:
 
 def ablation_corpus_size(sizes=(30, 100, 300)) -> ExperimentResult:
     """LOOPRAG quality as a function of demonstration-corpus size."""
+    run_plans([looprag_plan("polybench", DEEPSEEK_V3, dataset_size=size)
+               for size in sizes])
     rows: List = []
-    suite = suites()["polybench"]
     for size in sizes:
-        retriever = shared_retriever(size, 0, "looprag")
-        system = LoopRAG(retriever.dataset, DEEPSEEK_V3,
-                         retriever=retriever, seed=0)
-        passed, speedups = [], []
-        for bench in suite:
-            out = system.optimize(bench.program, bench.perf, bench.test)
-            passed.append(out.passed)
-            speedups.append(out.speedup)
-        rows.append((size, pass_at_k(passed), average_speedup(speedups)))
+        results = run_looprag("polybench", DEEPSEEK_V3,
+                              dataset_size=size)
+        rows.append((size, pass_at_k([r.passed for r in results]),
+                     average_speedup([r.speedup for r in results])))
     return ExperimentResult(
         experiment="abl-corpus",
         title="Ablation: demonstration corpus size (PolyBench)",
@@ -76,17 +73,16 @@ def ablation_corpus_size(sizes=(30, 100, 300)) -> ExperimentResult:
 def ablation_candidates(ks=(1, 3, 7)) -> ExperimentResult:
     """Pass@k / speedup as a function of the candidate count K (§5: 7)."""
     rows: List = []
-    suite = suites()["polybench"]
     retriever = shared_retriever()
     for k in ks:
         system = LoopRAG(retriever.dataset, DEEPSEEK_V3,
                          retriever=retriever, seed=0, k=k)
-        passed, speedups = [], []
-        for bench in suite:
-            out = system.optimize(bench.program, bench.perf, bench.test)
-            passed.append(out.passed)
-            speedups.append(out.speedup)
-        rows.append((k, pass_at_k(passed), average_speedup(speedups)))
+        results = evaluate_suite(
+            lambda bench: system.optimize(bench.program, bench.perf,
+                                          bench.test),
+            "polybench", f"looprag-deepseek-k{k}")
+        rows.append((k, pass_at_k([r.passed for r in results]),
+                     average_speedup([r.speedup for r in results])))
     return ExperimentResult(
         experiment="abl-k",
         title="Ablation: number of generated candidates K (PolyBench)",
@@ -98,6 +94,8 @@ def ablation_candidates(ks=(1, 3, 7)) -> ExperimentResult:
 def ablation_personas() -> ExperimentResult:
     """LLM generation ablation (§6.2.2): deepseek-v2.5 trails GPT-4o,
     which trails deepseek-v3 — the paper's release-time observation."""
+    run_plans([looprag_plan("polybench", persona)
+               for persona in (DEEPSEEK_V3, GPT_4O, DEEPSEEK_V25)])
     rows: List = []
     for persona in (DEEPSEEK_V3, GPT_4O, DEEPSEEK_V25):
         results = run_looprag("polybench", persona, "gcc")

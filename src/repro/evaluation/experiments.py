@@ -3,6 +3,12 @@
 Each function returns an :class:`ExperimentResult` whose rows mirror the
 paper's table rows / figure series; ``repro.evaluation.reporting`` renders
 them.  Paper-vs-measured comparisons live in EXPERIMENTS.md.
+
+Experiments declare every (system, suite) run they need as a batch of
+:class:`~repro.evaluation.harness.RunPlan` and submit it through
+``run_plans`` before reading any result — the harness resolves the batch
+against the persistent store and fans cache misses across the evaluation
+pool (``REPRO_JOBS``), instead of executing one run at a time.
 """
 
 from __future__ import annotations
@@ -15,12 +21,28 @@ from ..llm.personas import DEEPSEEK_V3, GPT_4O, Persona
 from ..suites import FIG14_KERNELS
 from ..synthesis.dataset import cached_dataset, transformation_kinds
 from ..transforms.recipe import LOOP_KINDS
-from .harness import (DEFAULT_DATASET_SIZE, DEFAULT_SEED, run_base_llm,
-                      run_compiler, run_looprag, speedups_by_benchmark)
+from .harness import (DEFAULT_DATASET_SIZE, DEFAULT_SEED, base_llm_plan,
+                      compiler_plan, looprag_plan, run_base_llm,
+                      run_compiler, run_looprag, run_plans,
+                      speedups_by_benchmark)
 from .metrics import average_speedup, pass_at_k, percent_faster
 
 SUITE_NAMES = ("polybench", "tsvc", "lore")
 PERSONAS = (DEEPSEEK_V3, GPT_4O)
+
+
+def _looprag_gcc_plans(suites=SUITE_NAMES, generators=("looprag",),
+                       methods=("loop-aware",)):
+    """The standard persona-sweep plan batch most experiments share."""
+    return [looprag_plan(suite, persona, "gcc", retrieval_method=method,
+                         generator=generator)
+            for generator in generators for method in methods
+            for persona in PERSONAS for suite in suites]
+
+
+def _base_llm_gcc_plans(suites=SUITE_NAMES):
+    return [base_llm_plan(suite, persona, "gcc")
+            for persona in PERSONAS for suite in suites]
 
 
 @dataclass(frozen=True)
@@ -45,6 +67,10 @@ def _row_stats(results) -> Tuple[float, float]:
 def fig1_motivation() -> ExperimentResult:
     """% of GPT-4 codes faster (↑), slower (↓) or non-equivalent (≠)
     than PLuTo's, on PolyBench and TSVC."""
+    run_plans([base_llm_plan(suite, GPT_4O)
+               for suite in ("polybench", "tsvc")]
+              + [compiler_plan(suite, "pluto")
+                 for suite in ("polybench", "tsvc")])
     rows = []
     for suite in ("polybench", "tsvc"):
         gpt = run_base_llm(suite, GPT_4O)
@@ -91,6 +117,12 @@ _COMPILER_SUITES = {
 
 def tab1_compilers() -> ExperimentResult:
     """Pass@k and speedups: LOOPRAG configurations vs four compilers."""
+    run_plans([looprag_plan(suite, persona, base)
+               for _, persona, base in _LOOPRAG_CONFIGS
+               for suite in SUITE_NAMES]
+              + [compiler_plan(suite, compiler)
+                 for compiler, allowed in _COMPILER_SUITES.items()
+                 for suite in allowed])
     rows = []
     for label, persona, base in _LOOPRAG_CONFIGS:
         cells: List = [label]
@@ -120,9 +152,16 @@ def tab1_compilers() -> ExperimentResult:
 def fig6_faster_vs_compilers() -> ExperimentResult:
     """% of benchmarks where LOOPRAG(DeepSeek) beats each compiler
     (matched base compiler)."""
+    from .harness import OPTIMIZER_BASE
+
+    run_plans([looprag_plan(suite, DEEPSEEK_V3, OPTIMIZER_BASE[compiler])
+               for compiler, allowed in _COMPILER_SUITES.items()
+               for suite in allowed]
+              + [compiler_plan(suite, compiler)
+                 for compiler, allowed in _COMPILER_SUITES.items()
+                 for suite in allowed])
     rows = []
     for compiler in ("graphite", "polly", "perspective", "icx"):
-        from .harness import OPTIMIZER_BASE
         base = OPTIMIZER_BASE[compiler]
         cells: List = [compiler]
         for suite in SUITE_NAMES:
@@ -155,6 +194,7 @@ _LLMVEC_ROW = ("LLM-Vectorizer", "GPT-4", None, None, 68.00, 5.25,
 
 def tab2_llms() -> ExperimentResult:
     """LOOPRAG vs base LLMs, plus PCAOT / LLM-Vectorizer as reported."""
+    run_plans(_looprag_gcc_plans() + _base_llm_gcc_plans())
     rows = []
     for persona in PERSONAS:
         cells: List = ["LOOPRAG", persona.model_id]
@@ -182,6 +222,7 @@ def tab2_llms() -> ExperimentResult:
 
 def fig7_faster_vs_llms() -> ExperimentResult:
     """% of benchmarks where LOOPRAG beats its own base LLM."""
+    run_plans(_looprag_gcc_plans() + _base_llm_gcc_plans())
     rows = []
     for persona in PERSONAS:
         cells: List = [persona.model_id]
@@ -205,6 +246,8 @@ def fig7_faster_vs_llms() -> ExperimentResult:
 # ----------------------------------------------------------------------
 def tab3_pluto() -> ExperimentResult:
     """Can LOOPRAG surpass its demonstration source?"""
+    run_plans(_looprag_gcc_plans()
+              + [compiler_plan(suite, "pluto") for suite in SUITE_NAMES])
     rows = []
     for persona in PERSONAS:
         cells: List = ["LOOPRAG", persona.model_id]
@@ -227,6 +270,8 @@ def tab3_pluto() -> ExperimentResult:
 
 
 def fig8_faster_vs_pluto() -> ExperimentResult:
+    run_plans(_looprag_gcc_plans()
+              + [compiler_plan(suite, "pluto") for suite in SUITE_NAMES])
     rows = []
     for persona in PERSONAS:
         cells: List = [persona.model_id]
@@ -295,6 +340,7 @@ def tab4_transform_kinds(corpus_size: int = CORPUS_STUDY_SIZE
 
 def tab5_colagen() -> ExperimentResult:
     """Full pipeline backed by COLA-Gen demonstrations vs LOOPRAG's."""
+    run_plans(_looprag_gcc_plans(generators=("looprag", "colagen")))
     rows = []
     for generator in ("looprag", "colagen"):
         for persona in PERSONAS:
@@ -315,6 +361,7 @@ def tab5_colagen() -> ExperimentResult:
 
 
 def fig10_faster_vs_colagen() -> ExperimentResult:
+    run_plans(_looprag_gcc_plans(generators=("looprag", "colagen")))
     rows = []
     for persona in PERSONAS:
         cells: List = [persona.model_id]
@@ -340,6 +387,8 @@ _RETRIEVAL_METHODS = (("Loop-aware", "loop-aware"), ("BM25", "bm25"),
 
 
 def tab6_retrieval() -> ExperimentResult:
+    run_plans(_looprag_gcc_plans(
+        methods=[m for _, m in _RETRIEVAL_METHODS]))
     rows = []
     for label, method in _RETRIEVAL_METHODS:
         for persona in PERSONAS:
@@ -360,6 +409,8 @@ def tab6_retrieval() -> ExperimentResult:
 
 
 def fig11_faster_retrieval() -> ExperimentResult:
+    run_plans(_looprag_gcc_plans(
+        methods=[m for _, m in _RETRIEVAL_METHODS]))
     rows = []
     for label, method in _RETRIEVAL_METHODS[1:]:
         for persona in PERSONAS:
@@ -384,6 +435,7 @@ def fig11_faster_retrieval() -> ExperimentResult:
 # ----------------------------------------------------------------------
 def tab7_feedback() -> ExperimentResult:
     """Pass@k improvements per feedback round (stage snapshots)."""
+    run_plans(_looprag_gcc_plans())
     rows = []
     for persona in PERSONAS:
         first = ["First round of compilation", persona.model_id]
@@ -412,6 +464,7 @@ def tab7_feedback() -> ExperimentResult:
 def fig12_feedback_faster() -> ExperimentResult:
     """% of benchmarks whose final code beats the step-2 best (the gain
     attributable to testing-results + ranking feedback)."""
+    run_plans(_looprag_gcc_plans())
     rows = []
     for persona in PERSONAS:
         cells: List = [persona.model_id]
@@ -433,6 +486,8 @@ def fig12_feedback_faster() -> ExperimentResult:
 # Figure 14 — per-benchmark speedups (Appendix F)
 # ----------------------------------------------------------------------
 def fig14_per_benchmark() -> ExperimentResult:
+    run_plans(_looprag_gcc_plans(suites=("polybench", "tsvc"))
+              + _base_llm_gcc_plans(suites=("polybench", "tsvc")))
     rows = []
     poly_lr = {p.name: speedups_by_benchmark(
         run_looprag("polybench", p, "gcc")) for p in PERSONAS}

@@ -1,10 +1,13 @@
-"""Rendering of experiment results as paper-style text tables."""
+"""Rendering of experiment results: text tables and JSON bench reports."""
 
 from __future__ import annotations
 
-from typing import Sequence
+import json
+from typing import List, Sequence, Tuple
 
 from .experiments import ExperimentResult
+from .harness import BenchResult
+from .metrics import average_speedup, pass_at_k
 
 
 def _fmt(value) -> str:
@@ -37,3 +40,49 @@ def render_table(result: ExperimentResult) -> str:
 
 def render_all(results: Sequence[ExperimentResult]) -> str:
     return "\n\n".join(render_table(r) for r in results)
+
+
+# ----------------------------------------------------------------------
+# `repro bench` reports
+# ----------------------------------------------------------------------
+def bench_report(runs: Sequence[Tuple[str, str, Sequence[BenchResult]]]
+                 ) -> dict:
+    """Structured report for a batch of (system, suite, results) runs.
+
+    The payload is a pure function of the results — no timestamps, no
+    cache statistics — so a warm rerun (or a parallel run) of the same
+    plans serializes byte-identically to the cold serial run.
+    """
+    report_runs = []
+    for system, suite, results in runs:
+        report_runs.append({
+            "system": system,
+            "suite": suite,
+            "n": len(results),
+            "pass_at_k": pass_at_k([r.passed for r in results]),
+            "avg_speedup": average_speedup([r.speedup for r in results]),
+            "benchmarks": [{"name": r.benchmark,
+                            "passed": r.passed,
+                            "speedup": r.speedup,
+                            "failure": r.failure}
+                           for r in results],
+        })
+    return {"report": "bench", "runs": report_runs}
+
+
+def render_json(report: dict) -> str:
+    """Canonical JSON text (sorted keys, stable float repr)."""
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+def render_bench(report: dict) -> str:
+    """Aligned text summary of a bench report."""
+    rows: List[Tuple] = [(run["system"], run["suite"], run["n"],
+                          run["pass_at_k"], run["avg_speedup"])
+                         for run in report["runs"]]
+    table = ExperimentResult(
+        experiment="bench",
+        title="repro bench",
+        columns=("system", "suite", "n", "pass_at_k", "avg_speedup"),
+        rows=tuple(rows))
+    return render_table(table)

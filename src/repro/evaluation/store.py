@@ -1,0 +1,217 @@
+"""Persistent, content-keyed result store for the evaluation harness.
+
+The session-local ``_RUN_CACHE`` memoization in ``harness.py`` only lives
+for one process; every pytest/bench invocation used to recompute the
+world from scratch.  This module persists finished runs to disk so warm
+reruns are near-no-ops.
+
+Layout
+------
+Results live in a single append-only JSON-lines file,
+``<cache-dir>/results.jsonl``.  Each line is one completed plan::
+
+    {"schema": 1, "key": "[...]", "results": [{...}, ...]}
+
+* ``schema`` — the store format version (:data:`SCHEMA_VERSION`).
+  Lines with a different schema are ignored, so format changes
+  invalidate old entries instead of mis-reading them.
+* ``key`` — the JSON-encoded cache key: the same tuple the in-memory
+  cache uses (plan kind, suite, system parameters, ``REPRO_SUITE_LIMIT``)
+  plus a dataset signature (see ``synthesis.dataset.dataset_signature``)
+  and a code signature over the result-determining packages, so edits to
+  the pipeline/transforms/compilers invalidate stale entries.
+* ``results`` — the serialized ``BenchResult`` payload (the store is
+  payload-agnostic; ``harness.py`` owns the (de)serialization).
+
+Corrupt lines (truncated writes, hand edits, non-JSON garbage) are
+skipped on load and counted in :meth:`ResultStore.stats`.  When the same
+key appears twice, the last line wins.
+
+Environment switches
+--------------------
+``REPRO_CACHE_DIR``   store directory (default ``.repro_cache/``)
+``REPRO_NO_CACHE``    any non-empty value disables the store entirely
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+SCHEMA_VERSION = 1
+DEFAULT_CACHE_DIR = ".repro_cache"
+RESULTS_FILE = "results.jsonl"
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+
+def encode_key(key: Sequence) -> str:
+    """Stable string form of a cache-key tuple."""
+    return json.dumps(list(key), separators=(",", ":"), sort_keys=False)
+
+
+class ResultStore:
+    """Append-only JSON-lines store mapping cache keys to payloads."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self._entries: Optional[Dict[str, List[dict]]] = None
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt = 0
+
+    @property
+    def path(self) -> Path:
+        return self.root / RESULTS_FILE
+
+    # ------------------------------------------------------------------
+    def _load(self) -> Dict[str, List[dict]]:
+        if self._entries is not None:
+            return self._entries
+        entries: Dict[str, List[dict]] = {}
+        if self.path.exists():
+            with open(self.path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        if record["schema"] != SCHEMA_VERSION:
+                            self.corrupt += 1
+                            continue
+                        entries[record["key"]] = record["results"]
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        self.corrupt += 1
+        self._entries = entries
+        return entries
+
+    # ------------------------------------------------------------------
+    def get(self, key: Sequence) -> Optional[List[dict]]:
+        """Payload for ``key``, or None (counts a hit/miss either way)."""
+        found = self._load().get(encode_key(key))
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def contains(self, key: Sequence) -> bool:
+        """Like :meth:`get` but without touching the hit/miss counters."""
+        return encode_key(key) in self._load()
+
+    def put(self, key: Sequence, payload: List[dict]) -> None:
+        """Persist one plan's payload (append + update the live view).
+
+        The whole record goes down in one ``os.write`` on an
+        ``O_APPEND`` descriptor, so concurrent processes sharing a
+        cache dir append whole lines instead of interleaving torn
+        fragments through separate buffered flushes.
+        """
+        encoded = encode_key(key)
+        self._load()[encoded] = payload
+        self.root.mkdir(parents=True, exist_ok=True)
+        record = {"schema": SCHEMA_VERSION, "key": encoded,
+                  "results": payload}
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+        self.writes += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the ``make clean-cache`` path)."""
+        if self.path.exists():
+            self.path.unlink()
+        self._entries = {}
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "corrupt": self.corrupt}
+
+
+# ----------------------------------------------------------------------
+# process-wide store registry (one store per directory, so counters and
+# the loaded view survive across harness calls)
+# ----------------------------------------------------------------------
+_STORES: Dict[str, ResultStore] = {}
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR)
+
+
+def store_enabled() -> bool:
+    return not os.environ.get(ENV_NO_CACHE)
+
+
+def active_store() -> Optional[ResultStore]:
+    """The store for the configured cache dir, or None when disabled."""
+    if not store_enabled():
+        return None
+    root = str(cache_dir())
+    if root not in _STORES:
+        _STORES[root] = ResultStore(root)
+    return _STORES[root]
+
+
+def cache_stats() -> Dict[str, int]:
+    """Aggregate hit/miss/write counters over every store touched."""
+    totals = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+    for store in _STORES.values():
+        for name, value in store.stats().items():
+            totals[name] += value
+    return totals
+
+
+# ----------------------------------------------------------------------
+# code signature: invalidate stored results when the code that produced
+# them changes
+# ----------------------------------------------------------------------
+#: modules whose source does NOT affect run results: presentation,
+#: batching/aggregation and the store/pool plumbing.  evaluation/harness.py
+#: is deliberately NOT listed — it computes the compiler baselines,
+#: timeouts and speedups that end up inside stored BenchResults.
+_NON_RESULT_MODULES = (
+    "cli.py",
+    "evaluation/__init__.py",
+    "evaluation/ablations.py",
+    "evaluation/experiments.py",
+    "evaluation/metrics.py",
+    "evaluation/parallel.py",
+    "evaluation/reporting.py",
+    "evaluation/store.py",
+)
+
+_CODE_SIGNATURE: Optional[str] = None
+
+
+def code_signature() -> str:
+    """Hash of every result-determining source file under ``repro``.
+
+    Any edit to the IR, transforms, compilers, pipeline, machine model,
+    suites, retrieval, synthesis or the harness's run logic invalidates
+    stored results; edits to the reporting/orchestration layer (which
+    only reads results) do not.
+    """
+    global _CODE_SIGNATURE
+    if _CODE_SIGNATURE is not None:
+        return _CODE_SIGNATURE
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        rel = path.relative_to(package_root).as_posix()
+        if rel in _NON_RESULT_MODULES:
+            continue
+        digest.update(rel.encode())
+        digest.update(path.read_bytes())
+    _CODE_SIGNATURE = digest.hexdigest()[:16]
+    return _CODE_SIGNATURE

@@ -23,6 +23,7 @@ Table 7's ablation reads those directly.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -81,14 +82,20 @@ class Candidate:
         if not self.report.passed:
             return self.report.verdict
         if self.seconds is not None and \
-                self.seconds > _ACTIVE_LIMIT[0]:
+                self.seconds > _ACTIVE_LIMIT.value:
             return ISSUE_ET
         return None
 
 
 # the limit is pipeline-scoped; a module slot avoids threading it through
-# every Candidate property access
-_ACTIVE_LIMIT = [DEFAULT_TIME_LIMIT]
+# every Candidate property access.  Thread-local because the evaluation
+# pool may run pipelines with different limits (LOOPRAG's 120 s vs the
+# baseline's 600 s) concurrently on sibling threads.
+class _ActiveLimit(threading.local):
+    value = DEFAULT_TIME_LIMIT
+
+
+_ACTIVE_LIMIT = _ActiveLimit()
 
 
 @dataclass(frozen=True)
@@ -139,7 +146,7 @@ class FeedbackPipeline:
     # ------------------------------------------------------------------
     def run(self, target: Program, perf_params: Mapping[str, int],
             test_params: Mapping[str, int]) -> PipelineResult:
-        _ACTIVE_LIMIT[0] = self.time_limit
+        _ACTIVE_LIMIT.value = self.time_limit
         llm: SimulatedLLM = self.llm_factory()
         rng = random.Random(f"pipeline/{self.seed}/{target.fingerprint()}")
         checker = checker_for(target, test_params)

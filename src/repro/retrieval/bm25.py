@@ -56,11 +56,15 @@ class BM25Index:
         return math.log(1.0 + (N - n + 0.5) / (n + 0.5))
 
     def score(self, query_text: str, doc_id: int) -> float:
-        """BM25 score of one document for a query."""
+        """BM25 score of one document for a query.
+
+        Re-tokenizes the query on every call; when scoring many
+        documents for one query use :meth:`scores` instead.
+        """
         counts = self._docs[doc_id]
         length = self._lengths[doc_id]
         score = 0.0
-        for term in set(tokenize(query_text)):
+        for term in sorted(set(tokenize(query_text))):
             tf = counts.get(term, 0)
             if tf == 0:
                 continue
@@ -70,11 +74,20 @@ class BM25Index:
             score += idf * tf * (self.k1 + 1) / denom
         return score
 
-    def search(self, query_text: str, top_n: int = 10) -> List[ScoredDoc]:
-        """Rank all documents containing at least one query term."""
-        query_terms = set(tokenize(query_text))
+    def scores(self, query_text: str) -> Dict[int, float]:
+        """BM25 scores of every matching document for one query.
+
+        Tokenizes the query once and walks each query term's postings
+        list — O(|query terms| + total matching postings) — where
+        calling :meth:`score` per document re-tokenizes and re-scores
+        the full query for each of the N documents, O(N · |query|).
+        Documents sharing no term with the query are absent (their BM25
+        score is 0.0).  Terms are visited in sorted order so the
+        floating-point accumulation matches :meth:`score` exactly and
+        is independent of hash seeding.
+        """
         candidates: Dict[int, float] = {}
-        for term in query_terms:
+        for term in sorted(set(tokenize(query_text))):
             idf = self.idf(term)
             if idf == 0.0:
                 continue
@@ -84,6 +97,10 @@ class BM25Index:
                                         / self._avg_len)
                 candidates[doc_id] = candidates.get(doc_id, 0.0) + \
                     idf * tf * (self.k1 + 1) / denom
-        ranked = sorted(candidates.items(),
+        return candidates
+
+    def search(self, query_text: str, top_n: int = 10) -> List[ScoredDoc]:
+        """Rank all documents containing at least one query term."""
+        ranked = sorted(self.scores(query_text).items(),
                         key=lambda kv: (-kv[1], kv[0]))[:top_n]
         return [ScoredDoc(doc_id, score) for doc_id, score in ranked]

@@ -9,6 +9,12 @@ target program under one of three methods (the Table 6 ablation):
 
 The pipeline takes the top-N (N = 10, §5) and samples three entries as
 demonstrations.
+
+Complexity: ``rank`` scores the BM25 component once per query via
+``BM25Index.scores`` — O(|query terms| + total matching postings) — and
+then adds the loop-feature score per entry, so a loop-aware ranking over
+a corpus of N entries costs O(postings + N · |features|).  (It used to
+call ``BM25Index.score`` per document, re-tokenizing the query N times.)
 """
 
 from __future__ import annotations
@@ -65,11 +71,11 @@ class Retriever:
                     entry=self.dataset[doc.doc_id], score=doc.score,
                     breakdown=None))
             return scored
+        base_scores: Dict[int, float] = \
+            self.index.scores(query) if method == "loop-aware" else {}
         for doc_id, entry in enumerate(self.dataset):
-            base = self.index.score(query, doc_id) \
-                if method == "loop-aware" else 0.0
             breakdown = lascore(target_features, self._features[doc_id],
-                                base)
+                                base_scores.get(doc_id, 0.0))
             scored.append(RetrievedDemo(entry=entry,
                                         score=breakdown.total,
                                         breakdown=breakdown))

@@ -117,6 +117,40 @@ def cached_dataset(size: int = DEFAULT_DATASET_SIZE, seed: int = 0,
     return _DATASET_CACHE[key]
 
 
+_SIGNATURE_CACHE = {}
+
+
+def dataset_signature(size: int = DEFAULT_DATASET_SIZE, seed: int = 0,
+                      generator: str = "looprag") -> str:
+    """Stable content signature of a synthesized corpus.
+
+    The evaluation layer's persistent result store keys runs on this:
+    two processes get the same signature iff they would build the same
+    corpus — the (size, seed, generator) parameters *and* the sources of
+    the synthesizers and of PLuTo (which optimizes every entry) agree.
+    Editing any of those modules changes the signature and invalidates
+    stored results instead of silently serving stale ones.
+    """
+    key = (size, seed, generator)
+    if key not in _SIGNATURE_CACHE:
+        import hashlib
+        import inspect
+        import sys
+
+        from ..compilers import pluto as pluto_module
+        from . import colagen as colagen_module
+        from . import generator as generator_module
+        from . import parameters as parameters_module
+
+        digest = hashlib.sha256(repr(key).encode())
+        for module in (generator_module, colagen_module,
+                       parameters_module, pluto_module,
+                       sys.modules[__name__]):
+            digest.update(inspect.getsource(module).encode())
+        _SIGNATURE_CACHE[key] = digest.hexdigest()[:16]
+    return _SIGNATURE_CACHE[key]
+
+
 def transformation_kinds(dataset: Dataset) -> dict:
     """Which transformation kinds the optimized corpus triggers (Table 4)."""
     counts = {}

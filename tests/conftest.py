@@ -1,10 +1,24 @@
-"""Shared fixtures: canonical kernels used across the test suite."""
+"""Shared fixtures: canonical kernels used across the test suite.
+
+Tests run against a throwaway result store (unless the environment
+already pins ``REPRO_CACHE_DIR``) so they never read results persisted
+by earlier runs or litter the repo with a ``.repro_cache/`` directory.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.ir import parse_scop
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_store(tmp_path_factory):
+    if "REPRO_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_CACHE_DIR"] = str(
+            tmp_path_factory.mktemp("repro_cache"))
 
 GEMM_SRC = """
 scop gemm(NI, NJ, NK) {

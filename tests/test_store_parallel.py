@@ -1,0 +1,210 @@
+"""Persistent result store + parallel runner tests.
+
+Covers the PR-1 harness rebuild: warm-cache hits return identical
+``BenchResult`` lists, ``REPRO_NO_CACHE`` bypasses the store, corrupt
+and stale entries are ignored, and parallel runs are identical to
+serial ones on a ``REPRO_SUITE_LIMIT=3`` sweep.
+"""
+
+import json
+
+import pytest
+
+from repro.evaluation import harness
+from repro.evaluation import store as store_module
+from repro.evaluation.harness import (base_llm_plan, compiler_plan,
+                                      looprag_plan, run_compiler,
+                                      run_plans)
+from repro.evaluation.parallel import map_items, resolve_pool
+from repro.evaluation.store import (SCHEMA_VERSION, ResultStore,
+                                    active_store, encode_key)
+from repro.llm.personas import DEEPSEEK_V3, GPT_4O
+
+
+@pytest.fixture
+def fresh_harness(monkeypatch, tmp_path):
+    """Empty store in a tmp dir + cleared in-memory caches."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.setenv("REPRO_SUITE_LIMIT", "3")
+    harness._RUN_CACHE.clear()
+    harness._RUNNER_CACHE.clear()
+    store_module._STORES.clear()
+    yield tmp_path
+    harness._RUN_CACHE.clear()
+    harness._RUNNER_CACHE.clear()
+    store_module._STORES.clear()
+
+
+def _forget_memory():
+    """Simulate a new process: drop every in-memory layer."""
+    harness._RUN_CACHE.clear()
+    harness._RUNNER_CACHE.clear()
+    store_module._STORES.clear()
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(("k", 1), [{"a": 1}])
+        assert store.get(("k", 1)) == [{"a": 1}]
+        assert store.get(("k", 2)) is None
+        assert store.stats()["writes"] == 1
+
+    def test_survives_reload(self, tmp_path):
+        ResultStore(tmp_path).put(("k",), [{"a": 1}])
+        assert ResultStore(tmp_path).get(("k",)) == [{"a": 1}]
+
+    def test_last_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(("k",), [{"a": 1}])
+        store.put(("k",), [{"a": 2}])
+        assert ResultStore(tmp_path).get(("k",)) == [{"a": 2}]
+
+    def test_corrupt_lines_ignored(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(("good",), [{"a": 1}])
+        with open(store.path, "a") as handle:
+            handle.write("{not json\n")
+            handle.write('{"schema": 999, "key": "x", "results": []}\n')
+            handle.write('{"missing": "fields"}\n')
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.get(("good",)) == [{"a": 1}]
+        assert reloaded.stats()["corrupt"] == 3
+
+    def test_schema_version_stamped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(("k",), [])
+        record = json.loads(store.path.read_text())
+        assert record["schema"] == SCHEMA_VERSION
+        assert record["key"] == encode_key(("k",))
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(("k",), [{"a": 1}])
+        store.clear()
+        assert not store.path.exists()
+        assert store.get(("k",)) is None
+
+    def test_no_cache_disables_store(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert active_store() is None
+
+
+class TestHarnessStore:
+    def test_warm_hit_identical(self, fresh_harness):
+        cold = run_compiler("polybench", "graphite")
+        _forget_memory()
+        warm = run_compiler("polybench", "graphite")
+        assert warm == cold
+        assert active_store().stats()["hits"] == 1
+
+    def test_no_cache_bypasses_store(self, fresh_harness, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        run_compiler("polybench", "graphite")
+        assert not (fresh_harness / "results.jsonl").exists()
+
+    def test_corrupt_store_recomputed(self, fresh_harness):
+        cold = run_compiler("polybench", "graphite")
+        path = fresh_harness / "results.jsonl"
+        path.write_text(path.read_text().replace('"results":[{',
+                                                 '"results":[{"bad":1,'))
+        _forget_memory()
+        assert run_compiler("polybench", "graphite") == cold
+
+    def test_code_change_invalidates_key(self, fresh_harness,
+                                         monkeypatch):
+        key_before = compiler_plan("polybench", "graphite").key()
+        monkeypatch.setattr(store_module, "_CODE_SIGNATURE", "deadbeef")
+        assert compiler_plan("polybench", "graphite").key() != key_before
+
+    def test_suite_limit_part_of_key(self, fresh_harness, monkeypatch):
+        key_3 = compiler_plan("polybench", "graphite").key()
+        monkeypatch.setenv("REPRO_SUITE_LIMIT", "2")
+        assert compiler_plan("polybench", "graphite").key() != key_3
+
+
+class TestParallelRunner:
+    PLANS = staticmethod(lambda: [
+        looprag_plan("polybench", DEEPSEEK_V3, dataset_size=30),
+        base_llm_plan("polybench", GPT_4O),
+        compiler_plan("polybench", "pluto"),
+        compiler_plan("tsvc", "icx"),
+    ])
+
+    def test_thread_pool_matches_serial(self, fresh_harness,
+                                        monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        serial = run_plans(self.PLANS(), jobs=1)
+        _forget_memory()
+        threaded = run_plans(self.PLANS(), jobs=4, pool="thread")
+        assert threaded == serial
+
+    def test_process_pool_matches_serial(self, fresh_harness,
+                                         monkeypatch):
+        if "process" != resolve_pool("auto"):
+            pytest.skip("no fork start method on this platform")
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        serial = run_plans([compiler_plan("polybench", "pluto"),
+                            compiler_plan("polybench", "icx")], jobs=1)
+        _forget_memory()
+        forked = run_plans([compiler_plan("polybench", "pluto"),
+                            compiler_plan("polybench", "icx")],
+                           jobs=2, pool="process")
+        assert forked == serial
+
+    def test_parallel_populates_store(self, fresh_harness):
+        run_plans(self.PLANS()[2:], jobs=2, pool="thread")
+        _forget_memory()
+        warm = run_plans(self.PLANS()[2:], jobs=1)
+        assert active_store().stats()["hits"] == 2
+        assert [r.suite for rs in warm for r in rs] == \
+            ["polybench"] * 3 + ["tsvc"] * 3
+
+    def test_failure_keeps_completed_plans(self, fresh_harness,
+                                           monkeypatch):
+        real = harness._execute_item
+
+        def flaky(item):
+            if item[0].optimizer == "icx":
+                raise RuntimeError("boom")
+            return real(item)
+
+        monkeypatch.setattr(harness, "_execute_item", flaky)
+        good = compiler_plan("polybench", "graphite")
+        bad = compiler_plan("polybench", "icx")
+        with pytest.raises(RuntimeError):
+            run_plans([good, bad], jobs=2, pool="thread")
+        assert active_store().contains(good.key())
+        assert not active_store().contains(bad.key())
+
+    def test_repeated_plans_deduplicated(self, fresh_harness):
+        plan = compiler_plan("polybench", "graphite")
+        a, b = run_plans([plan, plan], jobs=1)
+        assert a is b
+
+    def test_map_items_preserves_order(self):
+        items = list(range(20))
+        assert map_items(lambda x: x * x, items, jobs=4,
+                         pool="thread") == [x * x for x in items]
+
+    def test_map_items_serial_fallback(self):
+        assert map_items(lambda x: -x, [1, 2, 3], jobs=1) == [-1, -2, -3]
+
+    def test_resolve_pool_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_pool("ponies")
+
+
+class TestBenchReport:
+    def test_report_is_deterministic_json(self, fresh_harness):
+        from repro.evaluation.reporting import bench_report, render_json
+
+        plan = compiler_plan("polybench", "graphite")
+        first = render_json(bench_report(
+            [(plan.label(), plan.suite, run_plans([plan])[0])]))
+        _forget_memory()
+        second = render_json(bench_report(
+            [(plan.label(), plan.suite, run_plans([plan])[0])]))
+        assert first == second
+        assert json.loads(first)["runs"][0]["system"] == "graphite"
