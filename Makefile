@@ -6,7 +6,7 @@ JOBS ?= 4
 
 export PYTHONPATH := src
 
-.PHONY: test test-quick bench clean-cache
+.PHONY: test test-quick bench perf clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,9 @@ test-quick:
 bench:
 	$(PYTHON) -m repro bench --suite all --system looprag-deepseek \
 	    --system pluto --jobs $(JOBS)
+
+perf:
+	$(PYTHON) -m repro perf --json BENCH_interpreter.json
 
 clean-cache:
 	rm -rf .repro_cache

@@ -28,7 +28,11 @@ KIND_RAW = "RAW"
 KIND_WAW = "WAW"
 KIND_WAR = "WAR"
 
-#: Instance = (statement index, iterator environment as sorted tuple)
+#: Instance = (statement index, environment as a sorted item tuple).
+#: Witness environments contain the iterators *and* the concrete
+#: parameter binding they were observed at — legality checking
+#: (`_instance_key`) re-binds each witness at its own size, which is what
+#: lets classes concretized at different ``_PARAM_SIZES`` merge safely.
 Instance = Tuple[int, Tuple[Tuple[str, int], ...]]
 
 _MAX_WITNESSES = 24
@@ -40,6 +44,14 @@ _MAX_WITNESSES = 24
 #: synthesized program's interchange-breaking dependence only appears
 #: from 9 upward, so legality at 8 blessed an output-changing swap
 _DEFAULT_PARAM = 10
+#: default concretization sizes.  Dependences are collected at *both*
+#: sizes and merged: a non-uniform dependence class whose distance grows
+#: with the bounds can first appear at any size, so a single binding can
+#: never close the class entirely — checking two (coprime-ish) sizes
+#: catches everything whose onset lies at or below the larger one, and
+#: witness environments carry their own parameter binding so legality
+#: evaluates each witness at the size it was observed at
+_PARAM_SIZES = (_DEFAULT_PARAM, 13)
 _ANALYSIS_BUDGET = 200_000
 
 
@@ -80,31 +92,61 @@ def analysis_params(program: Program,
 
 def _collect_events(program: Program, params: Mapping[str, int]
                     ) -> List[Tuple[Tuple[int, ...], int, Dict[str, int]]]:
-    schedules = program.aligned_schedules()
-    events: List[Tuple[Tuple[int, ...], int, Dict[str, int]]] = []
-    total = 0
-    for si, stmt in enumerate(program.statements):
-        sched = schedules[si]
-        for point in stmt.domain.enumerate(params):
-            total += 1
-            if total > _ANALYSIS_BUDGET:
-                raise RuntimeError(
-                    f"dependence analysis budget exceeded on {program.name}")
-            env = dict(params)
-            env.update(point)
-            if not stmt.guards_hold(env):
-                continue
-            events.append((sched.evaluate(env), si, point))
-    events.sort(key=lambda item: (item[0], item[1]))
-    return events
+    """Guard-passing instances in schedule order (batched enumeration).
+
+    Shares the vectorized enumeration/sort of ``runtime.instances`` with
+    the interpreter engines and the trace simulator; budget accounting
+    (per enumerated point, before guard filtering) and the exceeded
+    message are unchanged from the scalar loop it replaces.
+    """
+    from ..runtime.instances import instance_list
+
+    def _exceeded(_budget: int) -> Exception:
+        return RuntimeError(
+            f"dependence analysis budget exceeded on {program.name}")
+
+    return instance_list(program, params, _ANALYSIS_BUDGET, _exceeded,
+                         honor_guards=True)
 
 
 def compute_dependences(program: Program,
                         params: Optional[Mapping[str, int]] = None
                         ) -> List[Dependence]:
-    """Enumerate all dependence classes of a program."""
-    if params is None:
-        params = analysis_params(program)
+    """Enumerate all dependence classes of a program.
+
+    With explicit ``params`` the program is concretized at exactly that
+    binding.  By default it is concretized at every size in
+    ``_PARAM_SIZES`` and the classes merged — witnesses remember their
+    own binding, so downstream legality checks evaluate each witness at
+    the size where the dependence actually occurred.
+    """
+    if params is not None:
+        collected = [_collect_pairs(program, params)]
+    else:
+        collected = [_collect_pairs(program, analysis_params(program, v))
+                     for v in _PARAM_SIZES]
+    merged_pairs: Dict[str, Dict] = {KIND_RAW: {}, KIND_WAW: {}, KIND_WAR: {}}
+    merged_distances: Dict[Tuple[str, int, int, str], set] = {}
+    for pairs_by_kind, distance_sets in collected:
+        for kind, pairs in pairs_by_kind.items():
+            for key, bucket in pairs.items():
+                merged_pairs[kind].setdefault(key, []).extend(bucket)
+        for key, vecs in distance_sets.items():
+            merged_distances.setdefault(key, set()).update(vecs)
+
+    deps: List[Dependence] = []
+    for kind in (KIND_RAW, KIND_WAW, KIND_WAR):
+        for (src_idx, tgt_idx, array), witnesses in sorted(
+                merged_pairs[kind].items()):
+            all_distances = merged_distances.get(
+                (kind, src_idx, tgt_idx, array), set())
+            deps.append(_summarize(program, kind, src_idx, tgt_idx, array,
+                                   witnesses, all_distances))
+    return deps
+
+
+def _collect_pairs(program: Program, params: Mapping[str, int]):
+    """One concretization pass: witness pairs + distance vectors."""
     events = _collect_events(program, params)
 
     # last writer / readers-since-write / two-deep read history per element
@@ -133,25 +175,35 @@ def compute_dependences(program: Program,
 
     def add(pairs, key, src, tgt, kind):
         bucket = pairs.setdefault(key, [])
+        # the stored witness environment also carries the parameter
+        # binding, so merged multi-size classes evaluate every witness at
+        # the size it was observed at
+        pair = ((src[0], src[1] + src[2]), (tgt[0], tgt[1] + tgt[2]))
         if len(bucket) < _MAX_WITNESSES:
-            bucket.append((src, tgt))
+            bucket.append(pair)
         else:
             # keep the class but rotate witnesses for diversity; the slot
             # must not come from hash() — str hashing is randomized per
             # process, and a hash-seed-dependent witness sample makes
-            # legality verdicts (and thus every table) vary across runs
-            bucket[zlib.crc32(repr(tgt).encode())
-                   % _MAX_WITNESSES] = (src, tgt)
+            # legality verdicts (and thus every table) vary across runs.
+            # The slot key is the iterator-only instance (params excluded),
+            # keeping the sample identical to earlier revisions at the
+            # default size.
+            bucket[zlib.crc32(repr((tgt[0], tgt[1])).encode())
+                   % _MAX_WITNESSES] = pair
         s_map = dict(src[1])
         t_map = dict(tgt[1])
         vec = tuple(t_map[n] - s_map[n] for n in _common(src[0], tgt[0]))
         distance_sets.setdefault((kind,) + key, set()).add(vec)
 
+    param_items = tuple(sorted(params.items()))
     for _key, si, point in events:
         stmt = program.statements[si]
         env = dict(params)
         env.update(point)
-        inst: Instance = (si, tuple(sorted(point.items())))
+        # internal instance form: (stmt index, iterator items, params);
+        # ``add`` flattens it into the stored witness environment
+        inst = (si, tuple(sorted(point.items())), param_items)
         for ref in stmt.reads():
             element = (ref.array, ref.index_values(env))
             writer = last_write.get(element)
@@ -184,15 +236,8 @@ def compute_dependences(program: Program,
         readers[element] = []
         last_write[element] = inst
 
-    deps: List[Dependence] = []
-    for kind, pairs in ((KIND_RAW, raw_pairs), (KIND_WAW, waw_pairs),
-                        (KIND_WAR, war_pairs)):
-        for (src_idx, tgt_idx, array), witnesses in sorted(pairs.items()):
-            all_distances = distance_sets.get(
-                (kind, src_idx, tgt_idx, array), set())
-            deps.append(_summarize(program, kind, src_idx, tgt_idx, array,
-                                   witnesses, all_distances))
-    return deps
+    return ({KIND_RAW: raw_pairs, KIND_WAW: waw_pairs,
+             KIND_WAR: war_pairs}, distance_sets)
 
 
 def _summarize(program: Program, kind: str, src_idx: int, tgt_idx: int,
@@ -324,10 +369,15 @@ _DEP_CACHE: Dict[Tuple[str, Tuple[Tuple[str, int], ...]], List[Dependence]] = {}
 def dependences(program: Program,
                 params: Optional[Mapping[str, int]] = None
                 ) -> List[Dependence]:
-    """Memoized :func:`compute_dependences` (keyed by program fingerprint)."""
-    if params is None:
-        params = analysis_params(program)
-    key = (program.fingerprint(), tuple(sorted(params.items())))
+    """Memoized :func:`compute_dependences` (keyed by program fingerprint).
+
+    The default (``params=None``) concretizes at every ``_PARAM_SIZES``
+    binding and memoizes the merged result under its own key, so the
+    two-size hardening costs one extra pass per distinct program, not
+    per legality query.
+    """
+    key = (program.fingerprint(),
+           None if params is None else tuple(sorted(params.items())))
     cached = _DEP_CACHE.get(key)
     if cached is None:
         cached = compute_dependences(program, params)

@@ -6,6 +6,7 @@ optimize FILE     run LOOPRAG on a SCoP source file and print the result
 compilers FILE    run every baseline compiler on a SCoP source file
 experiment ID     regenerate one table/figure (tab1..tab7, fig1..fig14)
 bench             run systems over suites (parallel, store-backed)
+perf              interpreter micro-benchmark: vectorized vs reference
 suites            list the benchmark suites and their kernels
 synthesize        build a demonstration corpus and report its statistics
 
@@ -164,6 +165,100 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Micro-benchmark the execution engines over a suite.
+
+    Every kernel runs under both ``REPRO_ENGINE`` settings at a uniform
+    parameter binding; the report records per-kernel wall times (best of
+    ``--repeat``), the aggregate speedup, and whether results stayed
+    bit-identical (checksum + executed-instance count).
+    """
+    import json
+    import time
+
+    from .runtime import (allocate, checksum, clone_storage,
+                          engine_override, execute)
+    from .suites import SUITES
+
+    suite = SUITES[args.suite]()
+    benchmarks = list(suite)
+    if args.limit is not None:
+        benchmarks = benchmarks[:args.limit]
+
+    def measure(program, params, engine):
+        """(best seconds, observed result) — errors become the result.
+
+        A kernel that exceeds the budget (or fails at runtime) reports
+        its exception class as the observation, so both engines raising
+        the same error still count as identical instead of killing the
+        whole run with a traceback.
+        """
+        with engine_override(engine):
+            pristine = allocate(program, params)
+            best = float("inf")
+            result = None
+            for _ in range(max(1, args.repeat) + 1):  # lap 0 warms caches
+                storage = clone_storage(pristine)
+                t0 = time.perf_counter()
+                try:
+                    instances = execute(program, params, storage,
+                                        budget=args.budget)
+                except Exception as exc:
+                    return 0.0, ("error", type(exc).__name__)
+                elapsed = time.perf_counter() - t0
+                if result is None:  # warmup lap: record result, not time
+                    result = (checksum(storage, program.outputs),
+                              instances)
+                    continue
+                best = min(best, elapsed)
+        return best, result
+
+    rows = []
+    total_ref = total_vec = 0.0
+    identical = True
+    for bench in benchmarks:
+        params = {name: args.param for name in bench.program.params}
+        ref_s, ref_out = measure(bench.program, params, "reference")
+        vec_s, vec_out = measure(bench.program, params, "vectorized")
+        match = ref_out == vec_out
+        identical &= match
+        failed = ref_out[0] == "error"
+        total_ref += ref_s
+        total_vec += vec_s
+        rows.append({
+            "kernel": bench.name,
+            "instances": 0 if failed else ref_out[1],
+            "reference_ms": round(ref_s * 1000, 3),
+            "vectorized_ms": round(vec_s * 1000, 3),
+            "speedup": round(ref_s / vec_s, 2) if vec_s > 0 else 0.0,
+            "identical": match,
+            "error": ref_out[1] if failed else None,
+        })
+
+    report = {
+        "suite": args.suite,
+        "param": args.param,
+        "repeat": args.repeat,
+        "kernels": rows,
+        "total_reference_s": round(total_ref, 4),
+        "total_vectorized_s": round(total_vec, 4),
+        "aggregate_speedup": (round(total_ref / total_vec, 2)
+                              if total_vec > 0 else 0.0),
+        "bit_identical": identical,
+    }
+    from .evaluation.reporting import render_perf
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_perf(report))
+    return 0 if identical else 1
+
+
 def cmd_suites(args: argparse.Namespace) -> int:
     from .suites import SUITES
 
@@ -258,6 +353,27 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("table", "json"),
                      help="stdout format (default: table)")
     ben.set_defaults(func=cmd_bench, suite=None, system=None)
+
+    per = sub.add_parser(
+        "perf", help="interpreter micro-benchmark (vectorized vs reference)")
+    per.add_argument("--suite", default="polybench",
+                     choices=BENCH_SUITES,
+                     help="suite to time (default: polybench)")
+    per.add_argument("--param", type=int, default=20,
+                     help="uniform parameter binding (default: 20)")
+    per.add_argument("--repeat", type=int, default=3,
+                     help="timed laps per engine, best-of (default: 3)")
+    per.add_argument("--budget", type=int, default=2_000_000,
+                     help="instance budget per run")
+    per.add_argument("--limit", type=int, metavar="N",
+                     help="only the first N kernels")
+    per.add_argument("--json", metavar="FILE",
+                     help="write the JSON report to FILE "
+                          "(e.g. BENCH_interpreter.json)")
+    per.add_argument("--format", default="table",
+                     choices=("table", "json"),
+                     help="stdout format (default: table)")
+    per.set_defaults(func=cmd_perf)
 
     ste = sub.add_parser("suites", help="list benchmark suites")
     ste.add_argument("-v", "--verbose", action="store_true")

@@ -9,7 +9,7 @@ from .metrics import (OUTLIER_CAP, average_speedup, pass_at_k,
                       percent_faster, speedup_ratio)
 from .parallel import default_jobs, map_items, resolve_pool
 from .reporting import (bench_report, render_all, render_bench,
-                        render_json, render_table)
+                        render_json, render_perf, render_table)
 from .store import ResultStore, active_store, cache_stats
 
 __all__ = [
@@ -22,6 +22,6 @@ __all__ = [
     "speedup_ratio",
     "default_jobs", "map_items", "resolve_pool",
     "bench_report", "render_all", "render_bench", "render_json",
-    "render_table",
+    "render_perf", "render_table",
     "ResultStore", "active_store", "cache_stats",
 ]

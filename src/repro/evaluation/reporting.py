@@ -86,3 +86,30 @@ def render_bench(report: dict) -> str:
         columns=("system", "suite", "n", "pass_at_k", "avg_speedup"),
         rows=tuple(rows))
     return render_table(table)
+
+
+# ----------------------------------------------------------------------
+# `repro perf` reports
+# ----------------------------------------------------------------------
+def render_perf(report: dict) -> str:
+    """Aligned text summary of an engine micro-benchmark report."""
+    def status(row) -> str:
+        if not row["identical"]:
+            return "DIFF!"
+        return row.get("error") or "="
+
+    rows: List[Tuple] = [
+        (row["kernel"], row["instances"], row["reference_ms"],
+         row["vectorized_ms"], row["speedup"], status(row))
+        for row in report["kernels"]]
+    table = ExperimentResult(
+        experiment="perf",
+        title=f"repro perf ({report['suite']}, param={report['param']})",
+        columns=("kernel", "instances", "reference_ms", "vectorized_ms",
+                 "speedup", "identical"),
+        rows=tuple(rows),
+        notes=(f"total {report['total_reference_s']:.2f}s -> "
+               f"{report['total_vectorized_s']:.2f}s, aggregate "
+               f"{report['aggregate_speedup']:.1f}x, bit-identical: "
+               f"{report['bit_identical']}",))
+    return render_table(table)

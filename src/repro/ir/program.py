@@ -131,7 +131,17 @@ class Program:
     # Identity
     # ------------------------------------------------------------------
     def fingerprint(self) -> str:
-        """Stable content hash — the cache key for testing/cost results."""
+        """Stable content hash — the cache key for testing/cost results.
+
+        Memoized on the instance (the class is frozen, so the content can
+        never change): every cache keyed on a fingerprint — dependence
+        memoization, equivalence verdicts, the compiled-kernel cache,
+        branch-coverage registration — pays the hash once per program
+        object instead of once per lookup.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
         text = "|".join([
             ",".join(self.params),
             ";".join(str(a) + ":" + a.init for a in self.arrays),
@@ -142,7 +152,9 @@ class Program:
             ",".join(map(str, sorted(self.vector_dims))),
             ",".join(sorted(self.tags)),
         ])
-        return hashlib.sha256(text.encode()).hexdigest()[:16]
+        digest = hashlib.sha256(text.encode()).hexdigest()[:16]
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest
 
     def __str__(self) -> str:
         lines = [f"program {self.name}({', '.join(self.params)})"]

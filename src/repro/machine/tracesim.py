@@ -13,6 +13,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
+import numpy as np
+
 from ..ir.program import Program
 from .model import DEFAULT_MACHINE, MachineModel
 
@@ -82,34 +84,46 @@ def simulate_trace(program: Program, params: Mapping[str, int],
         bases[decl.name] = offset
         offset += acc * machine.elem_bytes + machine.line_bytes
 
-    schedules = program.aligned_schedules()
-    items = []
-    total = 0
-    for si, stmt in enumerate(program.statements):
-        for point in stmt.domain.enumerate(params):
-            total += 1
-            if total > budget:
-                raise RuntimeError("trace budget exceeded")
-            env = dict(params)
-            env.update(point)
-            if not stmt.guards_hold(env):
-                continue
-            items.append((schedules[si].evaluate(env), si, point))
-    items.sort(key=lambda item: (item[0], item[1]))
+    # batched enumeration + schedule sort shared with the interpreter
+    # engines; addresses are then precomputed per statement as vectorized
+    # affine maps, leaving only the inherently sequential LRU walk scalar
+    from ..runtime.instances import affine_column, sorted_instances
 
-    for _key, si, point in items:
-        stmt = program.statements[si]
-        env = dict(params)
-        env.update(point)
-        for ref, _is_write in stmt.all_refs():
+    batch = sorted_instances(
+        program, params, budget,
+        lambda _b: RuntimeError("trace budget exceeded"),
+        honor_guards=True)
+
+    arrays_by_stmt = []
+    addr_rows = []
+    for si, stmt in enumerate(program.statements):
+        points = batch.statement_order(si)
+        n = len(points)
+        cols = {name: points[:, d]
+                for d, name in enumerate(stmt.domain.iterator_names)}
+        refs = [ref for ref, _is_write in stmt.all_refs()]
+        arrays_by_stmt.append([ref.array for ref in refs])
+        addresses = np.empty((n, len(refs)), dtype=np.int64)
+        for k, ref in enumerate(refs):
             stride = strides[ref.array]
-            flat = sum(s * ix.evaluate(env)
-                       for s, ix in zip(stride, ref.indices))
-            address = bases[ref.array] + flat * machine.elem_bytes
+            flat = np.zeros(n, dtype=np.int64)
+            for s, ix in zip(stride, ref.indices):
+                flat += s * affine_column(ix, cols, params, n)
+            addresses[:, k] = bases[ref.array] + flat * machine.elem_bytes
+        addr_rows.append(addresses.tolist())
+
+    cursors = [0] * len(program.statements)
+    touch = cache.touch
+    for si in batch.si.tolist():
+        row = addr_rows[si][cursors[si]]
+        cursors[si] += 1
+        names = arrays_by_stmt[si]
+        for k, address in enumerate(row):
             before = cache.misses
-            cache.touch(address)
+            touch(address)
             if cache.misses != before:
-                per_array[ref.array] = per_array.get(ref.array, 0) + 1
+                name = names[k]
+                per_array[name] = per_array.get(name, 0) + 1
 
     return TraceResult(accesses=cache.accesses, misses=cache.misses,
                        per_array_misses=tuple(sorted(per_array.items())))

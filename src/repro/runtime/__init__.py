@@ -1,11 +1,19 @@
-"""Execution substrate: deterministic inputs + schedule-ordered interpreter."""
+"""Execution substrate: deterministic inputs + schedule-ordered engines.
+
+Two engines share one strict semantics (pick with ``REPRO_ENGINE``):
+the vectorized block executor (default) and the reference tree-walking
+interpreter.  ``runtime.instances`` holds the batched enumeration both
+build on; ``runtime.compile`` the per-statement kernel cache.
+"""
 
 from .data import Storage, allocate, checksum, clone_storage, init_array
 from .interpreter import (BranchCoverage, BudgetExceededError, RunResult,
-                          RuntimeExecutionError, execute, run)
+                          RuntimeExecutionError, engine_name,
+                          engine_override, execute, run)
 
 __all__ = [
     "Storage", "allocate", "checksum", "clone_storage", "init_array",
     "BranchCoverage", "BudgetExceededError", "RunResult",
-    "RuntimeExecutionError", "execute", "run",
+    "RuntimeExecutionError", "engine_name", "engine_override", "execute",
+    "run",
 ]

@@ -10,10 +10,23 @@ caught by differential testing rather than assumed away.
 The interpreter is deliberately strict: out-of-bounds subscripts raise
 :class:`RuntimeExecutionError` (the paper's RE category) instead of
 wrapping, and an instance budget bounds runaway candidates.
+
+Two engines share these semantics (selected by ``REPRO_ENGINE``):
+
+* ``vectorized`` (default) — compiled per-statement kernels plus the
+  block executor of :mod:`repro.runtime.vectorized`; bit-identical to
+  the reference on outputs, checksums, coverage, instance counts and
+  raised error classes, but executes dependence-free runs of instances
+  as single NumPy operations;
+* ``reference`` — the original strict tree-walking interpreter below,
+  kept as the executable specification the equivalence suite pins the
+  vectorized engine against.
 """
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
@@ -43,8 +56,20 @@ class BranchCoverage:
 
     outcomes: Set[Tuple[str, int, bool]] = field(default_factory=set)
     possible: Set[Tuple[str, int]] = field(default_factory=set)
+    _registered: Set[str] = field(default_factory=set, repr=False)
 
     def register_program(self, program: Program) -> None:
+        """Register a program's branches (idempotent, O(1) on repeat).
+
+        ``execute`` calls this on every run; repeated runs of the same
+        program — the differential tester replays each candidate over
+        dozens of inputs — are recognised by content fingerprint and
+        skipped instead of re-adding every branch to the set.
+        """
+        key = program.fingerprint()
+        if key in self._registered:
+            return
+        self._registered.add(key)
         for stmt in program.statements:
             self.possible.add((stmt.name, -1))
             for gi in range(len(stmt.guards)):
@@ -78,25 +103,53 @@ class RunResult:
     instances: int
 
 
+def _budget_error(program: Program, budget: int) -> BudgetExceededError:
+    return BudgetExceededError(
+        f"{program.name}: more than {budget} statement instances")
+
+
 def _instances(program: Program, params: Mapping[str, int],
                budget: int) -> List[Tuple[Tuple[int, ...], int, Dict[str, int]]]:
-    """Collect (schedule_key, stmt_index, env) for every instance."""
-    schedules = program.aligned_schedules()
-    items: List[Tuple[Tuple[int, ...], int, Dict[str, int]]] = []
-    count = 0
-    for si, stmt in enumerate(program.statements):
-        sched = schedules[si]
-        for point in stmt.domain.enumerate(params):
-            count += 1
-            if count > budget:
-                raise BudgetExceededError(
-                    f"{program.name}: more than {budget} statement instances")
-            env = dict(params)
-            env.update(point)
-            key = sched.evaluate(env)
-            items.append((key, si, point))
-    items.sort(key=lambda item: (item[0], item[1]))
-    return items
+    """Collect (schedule_key, stmt_index, env) for every instance.
+
+    Enumeration and global ordering are shared with the dependence
+    concretizer and the vectorized engine (``runtime.instances``); only
+    the per-instance execution below stays scalar in this engine.
+    """
+    from .instances import instance_list
+
+    return instance_list(program, params, budget,
+                         lambda b: _budget_error(program, b))
+
+
+def engine_name() -> str:
+    """The active execution engine (``REPRO_ENGINE``, default vectorized)."""
+    engine = os.environ.get("REPRO_ENGINE", "vectorized")
+    if engine not in ("vectorized", "reference"):
+        raise ValueError(
+            f"unknown REPRO_ENGINE {engine!r}; "
+            f"choose 'vectorized' or 'reference'")
+    return engine
+
+
+@contextmanager
+def engine_override(engine: Optional[str]):
+    """Temporarily select an execution engine (``None`` = leave as-is).
+
+    The single save/restore point for ``REPRO_ENGINE`` — ``repro perf``
+    and the engine-equivalence tests flip engines through this instead of
+    hand-rolling environment handling.
+    """
+    before = os.environ.get("REPRO_ENGINE")
+    if engine is not None:
+        os.environ["REPRO_ENGINE"] = engine
+    try:
+        yield
+    finally:
+        if before is None:
+            os.environ.pop("REPRO_ENGINE", None)
+        else:
+            os.environ["REPRO_ENGINE"] = before
 
 
 def execute(program: Program, params: Mapping[str, int],
@@ -109,13 +162,18 @@ def execute(program: Program, params: Mapping[str, int],
     """
     if coverage is not None:
         coverage.register_program(program)
-    scalars = program.scalar_values()
-    executed = 0
-    items = _instances(program, params, budget)
-    shapes = {name: arr.shape for name, arr in storage.items()}
     # synthesized candidates may blow up numerically before the tester
     # rejects them; the overflow itself is data, not a fault
     with np.errstate(over="ignore", invalid="ignore"):
+        if engine_name() == "vectorized":
+            from .vectorized import execute_vectorized
+
+            return execute_vectorized(
+                program, params, storage, coverage, budget,
+                lambda b: _budget_error(program, b))
+        scalars = program.scalar_values()
+        items = _instances(program, params, budget)
+        shapes = {name: arr.shape for name, arr in storage.items()}
         return _run_items(program, params, storage, coverage, items,
                           scalars, shapes)
 

@@ -112,3 +112,52 @@ class TestMemoization:
 
     def test_different_programs_not_shared(self, gemm, syrk):
         assert dependences(gemm) is not dependences(syrk)
+
+    def test_explicit_params_cached_separately(self, gemm):
+        default = dependences(gemm)
+        explicit = dependences(gemm, {"NI": 10, "NJ": 10, "NK": 10})
+        assert default is dependences(gemm)
+        assert explicit is dependences(gemm, {"NI": 10, "NJ": 10,
+                                              "NK": 10})
+        assert default is not explicit
+
+
+class TestTwoSizeConcretization:
+    """Witnesses are collected at two sizes and keep their own binding."""
+
+    def test_witnesses_carry_both_bindings(self, gemm):
+        deps = dependences(gemm)
+        sizes = set()
+        for dep in deps:
+            for src, _tgt in dep.witnesses:
+                env = dict(src[1])
+                sizes.add(env.get("NI"))
+        assert sizes == {10, 13}
+
+    def test_long_distance_dependence_needs_larger_size(self):
+        # the RAW distance is 11: the consumer's domain is empty at the
+        # default size 10, so a single-size concretization misses the
+        # class entirely and would bless an illegal statement reordering
+        p = parse_scop("""
+        scop longdist(N) {
+          array A[N] output;
+          array B[N] output;
+          for (i = 0; i < N; i++)
+            A[i] = 1.0;
+          for (i = 11; i < N; i++)
+            B[i] = A[i - 11];
+        }
+        """)
+        only_small = dependences(p, {"N": 10})
+        assert only_small == []
+        merged = dependences(p)
+        carried = [d for d in merged if d.loop_carried]
+        assert carried and carried[0].constant_distance == (11,)
+
+        from repro.ir import ConstDim
+        s1 = p.statements[0]
+        moved = p.with_statement(
+            s1.name,
+            s1.with_schedule(s1.schedule.with_dim(0, ConstDim(2))))
+        assert schedule_violations(moved, merged)
+        assert not schedule_violations(moved, only_small)

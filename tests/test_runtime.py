@@ -128,6 +128,30 @@ class TestCoverage:
         assert cov.ratio() < 1.0
 
 
+class TestCoverageRegistration:
+    def test_register_program_idempotent(self, gemm):
+        cov = BranchCoverage()
+        cov.register_program(gemm)
+        first = set(cov.possible)
+        cov.register_program(gemm)
+        assert cov.possible == first
+        assert len(cov._registered) == 1
+
+    def test_repeated_execute_registers_once(self, gemm):
+        cov = BranchCoverage()
+        params = {"NI": 3, "NJ": 3, "NK": 3}
+        for _ in range(3):
+            run(gemm, params, coverage=cov)
+        assert len(cov._registered) == 1
+        assert cov.ratio() == 1.0
+
+    def test_distinct_programs_both_register(self, gemm, syrk):
+        cov = BranchCoverage()
+        cov.register_program(gemm)
+        cov.register_program(syrk)
+        assert len(cov._registered) == 2
+
+
 class TestInitKinds:
     @pytest.mark.parametrize("kind", ["poly", "zeros", "ones", "ramp",
                                       "alt", "identity"])
