@@ -20,6 +20,7 @@ bench:
 
 perf:
 	$(PYTHON) -m repro perf --json BENCH_interpreter.json
+	$(PYTHON) -m repro perf --target analysis --json BENCH_analysis.json
 
 clean-cache:
 	rm -rf .repro_cache

@@ -1,6 +1,7 @@
 """Static/dynamic analyses over SCoPs: dependences and loop properties."""
 
 from .dependences import (Dependence, KIND_RAW, KIND_WAR, KIND_WAW,
+                          analysis_engine_name, analysis_override,
                           analysis_params, compute_dependences, dependences,
                           is_legal_schedule, is_parallel_dim,
                           parallel_violations, schedule_violations)
@@ -12,6 +13,7 @@ from .symbolic import (SymbolicDependence, symbolic_dependences,
 
 __all__ = [
     "Dependence", "KIND_RAW", "KIND_WAR", "KIND_WAW",
+    "analysis_engine_name", "analysis_override",
     "analysis_params", "compute_dependences", "dependences",
     "is_legal_schedule", "is_parallel_dim", "parallel_violations",
     "schedule_violations",

@@ -13,13 +13,29 @@ dependence analysis: it is exact for the sampled sizes and, because every
 dependence in an affine SCoP with constant distances shows up at small
 sizes, it is reliable on the benchmark/synthesized programs used here
 (DESIGN.md discusses the substitution).
+
+Two engines share these semantics (selected by ``REPRO_ANALYSIS``):
+
+* ``vectorized`` (default) — :mod:`repro.analysis.vectorized` derives the
+  same witness pairs, distance vectors and legality verdicts from NumPy
+  segment scans over the batched instance enumeration, bit-identical to
+  the scalar walk below (including the bounded-witness rotation and error
+  messages);
+* ``reference`` — the original per-instance walk in this module, kept as
+  the executable specification the equivalence suite pins the vectorized
+  engine against.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import zlib
+from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
 
 from ..ir.program import Program
 from ..ir.schedule import Schedule
@@ -53,6 +69,42 @@ _DEFAULT_PARAM = 10
 #: evaluates each witness at the size it was observed at
 _PARAM_SIZES = (_DEFAULT_PARAM, 13)
 _ANALYSIS_BUDGET = 200_000
+
+
+# ----------------------------------------------------------------------
+# Engine selection
+# ----------------------------------------------------------------------
+ANALYSIS_ENGINES = ("vectorized", "reference")
+
+
+def analysis_engine_name() -> str:
+    """The active analysis engine (``REPRO_ANALYSIS``, default vectorized)."""
+    engine = os.environ.get("REPRO_ANALYSIS", "vectorized")
+    if engine not in ANALYSIS_ENGINES:
+        raise ValueError(
+            f"unknown REPRO_ANALYSIS {engine!r}; "
+            f"choose 'vectorized' or 'reference'")
+    return engine
+
+
+@contextmanager
+def analysis_override(engine: Optional[str]):
+    """Temporarily select an analysis engine (``None`` = leave as-is).
+
+    The single save/restore point for ``REPRO_ANALYSIS`` — ``repro perf
+    --target analysis`` and the analysis-equivalence tests flip engines
+    through this instead of hand-rolling environment handling.
+    """
+    before = os.environ.get("REPRO_ANALYSIS")
+    if engine is not None:
+        os.environ["REPRO_ANALYSIS"] = engine
+    try:
+        yield
+    finally:
+        if before is None:
+            os.environ.pop("REPRO_ANALYSIS", None)
+        else:
+            os.environ["REPRO_ANALYSIS"] = before
 
 
 @dataclass(frozen=True)
@@ -90,6 +142,14 @@ def analysis_params(program: Program,
     return {p: value for p in program.params}
 
 
+def _budget_exceeded(program: Program) -> Callable[[int], Exception]:
+    """The (engine-shared) budget-exhaustion error factory."""
+    def _exceeded(_budget: int) -> Exception:
+        return RuntimeError(
+            f"dependence analysis budget exceeded on {program.name}")
+    return _exceeded
+
+
 def _collect_events(program: Program, params: Mapping[str, int]
                     ) -> List[Tuple[Tuple[int, ...], int, Dict[str, int]]]:
     """Guard-passing instances in schedule order (batched enumeration).
@@ -101,12 +161,8 @@ def _collect_events(program: Program, params: Mapping[str, int]
     """
     from ..runtime.instances import instance_list
 
-    def _exceeded(_budget: int) -> Exception:
-        return RuntimeError(
-            f"dependence analysis budget exceeded on {program.name}")
-
-    return instance_list(program, params, _ANALYSIS_BUDGET, _exceeded,
-                         honor_guards=True)
+    return instance_list(program, params, _ANALYSIS_BUDGET,
+                         _budget_exceeded(program), honor_guards=True)
 
 
 def compute_dependences(program: Program,
@@ -146,7 +202,21 @@ def compute_dependences(program: Program,
 
 
 def _collect_pairs(program: Program, params: Mapping[str, int]):
-    """One concretization pass: witness pairs + distance vectors."""
+    """One concretization pass: witness pairs + distance vectors.
+
+    Dispatches on the active engine; both produce identical structures
+    (same buckets, same witness order, same rotation slots).
+    """
+    if analysis_engine_name() == "vectorized":
+        from .vectorized import collect_pairs
+
+        return collect_pairs(program, params, _ANALYSIS_BUDGET,
+                             _budget_exceeded(program), _MAX_WITNESSES)
+    return _collect_pairs_reference(program, params)
+
+
+def _collect_pairs_reference(program: Program, params: Mapping[str, int]):
+    """The scalar per-instance walk (the executable specification)."""
     events = _collect_events(program, params)
 
     # last writer / readers-since-write / two-deep read history per element
@@ -275,7 +345,14 @@ def _legality_schedules(program: Program) -> List[Schedule]:
     legal.  Rectangular-band tiling legality is size-independent (it is
     band permutability), so evaluating with size-2 tiles on the small
     domain checks the same property while actually exercising boundaries.
+
+    Memoized per program fingerprint: every candidate legality query of
+    every persona/compiler pays the schedule rebuild once, not per call.
     """
+    cached = _LEGALITY_CACHE.get(program.fingerprint())
+    if cached is not None:
+        return cached
+
     from ..ir.schedule import Schedule as Sched, TileDim
 
     out: List[Schedule] = []
@@ -285,6 +362,7 @@ def _legality_schedules(program: Program) -> List[Schedule]:
             if isinstance(d, TileDim) else d
             for d in sched.dims)
         out.append(Sched(dims))
+    _LEGALITY_CACHE.put(program.fingerprint(), out)
     return out
 
 
@@ -307,6 +385,12 @@ def schedule_violations(program: Program, deps: Sequence[Dependence],
     if params is None:
         params = analysis_params(program)
     schedules = _legality_schedules(program)
+    if analysis_engine_name() == "vectorized":
+        from .vectorized import schedule_violations_batch
+
+        result = schedule_violations_batch(program, deps, params, schedules)
+        if result is not None:
+            return result
     name_to_idx = {s.name: i for i, s in enumerate(program.statements)}
     violated: List[Dependence] = []
     for dep in deps:
@@ -341,6 +425,13 @@ def parallel_violations(program: Program, deps: Sequence[Dependence],
     if params is None:
         params = analysis_params(program)
     schedules = _legality_schedules(program)
+    if analysis_engine_name() == "vectorized":
+        from .vectorized import parallel_violations_batch
+
+        result = parallel_violations_batch(program, deps, dim, params,
+                                           schedules)
+        if result is not None:
+            return result
     violated: List[Dependence] = []
     for dep in deps:
         for src, tgt in dep.witnesses:
@@ -361,9 +452,47 @@ def is_parallel_dim(program: Program, deps: Sequence[Dependence],
 
 
 # ----------------------------------------------------------------------
-# Memoized entry point
+# Bounded, thread-safe memoization
 # ----------------------------------------------------------------------
-_DEP_CACHE: Dict[Tuple[str, Tuple[Tuple[str, int], ...]], List[Dependence]] = {}
+class _LRUCache:
+    """A small lock-guarded LRU map.
+
+    The evaluation layer's thread pool (``evaluation.parallel``) shares
+    these caches across workers; eviction drops the least recently used
+    entry instead of wiping the whole cache at capacity, so a long
+    bench run keeps its hot programs memoized.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._data: "OrderedDict" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        with self._lock:
+            got = self._data.get(key)
+            if got is not None:
+                self._data.move_to_end(key)
+            return got
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+_DEP_CACHE = _LRUCache(4096)
+_LEGALITY_CACHE = _LRUCache(2048)
 
 
 def dependences(program: Program,
@@ -381,7 +510,5 @@ def dependences(program: Program,
     cached = _DEP_CACHE.get(key)
     if cached is None:
         cached = compute_dependences(program, params)
-        if len(_DEP_CACHE) > 4096:
-            _DEP_CACHE.clear()
-        _DEP_CACHE[key] = cached
+        _DEP_CACHE.put(key, cached)
     return cached

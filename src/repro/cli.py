@@ -6,7 +6,9 @@ optimize FILE     run LOOPRAG on a SCoP source file and print the result
 compilers FILE    run every baseline compiler on a SCoP source file
 experiment ID     regenerate one table/figure (tab1..tab7, fig1..fig14)
 bench             run systems over suites (parallel, store-backed)
-perf              interpreter micro-benchmark: vectorized vs reference
+perf              engine micro-benchmarks (vectorized vs reference):
+                  --target interpreter (execution) or analysis
+                  (dependences + legality queries)
 suites            list the benchmark suites and their kernels
 synthesize        build a demonstration corpus and report its statistics
 
@@ -165,6 +167,172 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _perf_candidates(program):
+    """Deterministic candidate schedules for legality-query benchmarks.
+
+    Interchange/tile/skew over the low schedule columns — the same
+    rewrites personas and compiler passes probe — deduplicated by
+    fingerprint.  Transform construction is engine-independent, so both
+    engines answer the exact same queries.
+    """
+    import itertools
+
+    from .transforms import interchange, skew, tile
+
+    candidates = []
+    seen = set()
+    for col_a, col_b in itertools.combinations((1, 3, 5), 2):
+        for make in (lambda p: interchange(p, col_a, col_b),
+                     lambda p: tile(p, [col_a], 2),
+                     lambda p: skew(p, target_col=col_a,
+                                    source_col=col_b, factor=1)):
+            try:
+                candidate = make(program)
+            except Exception:
+                continue
+            if candidate.fingerprint() not in seen:
+                seen.add(candidate.fingerprint())
+                candidates.append(candidate)
+    return candidates
+
+
+def cmd_perf_analysis(args: argparse.Namespace) -> int:
+    """Micro-benchmark the dependence/legality engines over a suite.
+
+    Per kernel and per ``REPRO_ANALYSIS`` engine: time the (uncached)
+    dependence computation and a sweep of legality + parallelism
+    queries over deterministic candidate schedules, then check the
+    engines agreed on every dependence (witness for witness) and every
+    verdict.
+    """
+    import json
+    import time
+
+    from .analysis.dependences import (analysis_override,
+                                       compute_dependences,
+                                       parallel_violations,
+                                       schedule_violations)
+    from .suites import SUITES
+
+    if args.param is not None:
+        raise SystemExit(
+            "--param only applies to --target interpreter; the analysis "
+            "engines concretize at their fixed witness sizes")
+    suite = SUITES[args.suite]()
+    benchmarks = list(suite)
+    if args.limit is not None:
+        benchmarks = benchmarks[:args.limit]
+    laps = max(1, args.repeat) + 1  # lap 0 warms caches, records results
+
+    def measure_deps(program, engine):
+        with analysis_override(engine):
+            best = float("inf")
+            deps = None
+            for lap in range(laps):
+                t0 = time.perf_counter()
+                try:
+                    result = compute_dependences(program)
+                except Exception as exc:
+                    return 0.0, None, ("error", type(exc).__name__,
+                                       str(exc))
+                elapsed = time.perf_counter() - t0
+                if lap == 0:
+                    deps = result
+                else:
+                    best = min(best, elapsed)
+        return best, deps, ("ok",)
+
+    def measure_legality(program, candidates, deps, engine):
+        dims = range(program.schedule_width)
+        position = {id(dep): i for i, dep in enumerate(deps)}
+        with analysis_override(engine):
+            best = float("inf")
+            verdicts = None
+            for lap in range(laps):
+                t0 = time.perf_counter()
+                observed = []
+                for candidate in candidates:
+                    observed.append(tuple(
+                        position[id(d)]
+                        for d in schedule_violations(candidate, deps)))
+                for dim in dims:
+                    observed.append(tuple(
+                        position[id(d)]
+                        for d in parallel_violations(program, deps, dim)))
+                elapsed = time.perf_counter() - t0
+                if lap == 0:
+                    verdicts = tuple(observed)
+                else:
+                    best = min(best, elapsed)
+        return best, verdicts
+
+    rows = []
+    total_ref = total_vec = 0.0
+    identical = True
+    for bench in benchmarks:
+        program = bench.program
+        candidates = _perf_candidates(program)
+        queries = len(candidates) + program.schedule_width
+        ref_dep_s, ref_deps, ref_obs = measure_deps(program, "reference")
+        vec_dep_s, vec_deps, vec_obs = measure_deps(program, "vectorized")
+        failed = "error" in (ref_obs[0], vec_obs[0])
+        match = ref_obs == vec_obs and ref_deps == vec_deps
+        ref_leg_s = vec_leg_s = 0.0
+        if not failed:
+            ref_leg_s, ref_verdicts = measure_legality(
+                program, candidates, ref_deps, "reference")
+            vec_leg_s, vec_verdicts = measure_legality(
+                program, candidates, vec_deps, "vectorized")
+            match &= ref_verdicts == vec_verdicts
+        identical &= match
+        ref_s = ref_dep_s + ref_leg_s
+        vec_s = vec_dep_s + vec_leg_s
+        total_ref += ref_s
+        total_vec += vec_s
+        if not failed:
+            error = None
+        elif ref_obs == vec_obs:  # both engines raised identically
+            error = ref_obs[1]
+        else:  # one-sided failure: name the engine and the exception
+            error = (f"ref={ref_obs[1] if ref_obs[0] == 'error' else 'ok'} "
+                     f"vec={vec_obs[1] if vec_obs[0] == 'error' else 'ok'}")
+        rows.append({
+            "kernel": bench.name,
+            "deps": 0 if failed else len(ref_deps),
+            "queries": 0 if failed else queries,
+            "reference_dep_ms": round(ref_dep_s * 1000, 3),
+            "vectorized_dep_ms": round(vec_dep_s * 1000, 3),
+            "reference_legality_ms": round(ref_leg_s * 1000, 3),
+            "vectorized_legality_ms": round(vec_leg_s * 1000, 3),
+            "speedup": round(ref_s / vec_s, 2) if vec_s > 0 else 0.0,
+            "identical": match,
+            "error": error,
+        })
+
+    report = {
+        "suite": args.suite,
+        "target": "analysis",
+        "repeat": args.repeat,
+        "kernels": rows,
+        "total_reference_s": round(total_ref, 4),
+        "total_vectorized_s": round(total_vec, 4),
+        "aggregate_speedup": (round(total_ref / total_vec, 2)
+                              if total_vec > 0 else 0.0),
+        "bit_identical": identical,
+    }
+    from .evaluation.reporting import render_analysis_perf
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_analysis_perf(report))
+    return 0 if identical else 1
+
+
 def cmd_perf(args: argparse.Namespace) -> int:
     """Micro-benchmark the execution engines over a suite.
 
@@ -175,6 +343,11 @@ def cmd_perf(args: argparse.Namespace) -> int:
     """
     import json
     import time
+
+    if args.target == "analysis":
+        return cmd_perf_analysis(args)
+    if args.param is None:
+        args.param = 20
 
     from .runtime import (allocate, checksum, clone_storage,
                           engine_override, execute)
@@ -355,12 +528,20 @@ def build_parser() -> argparse.ArgumentParser:
     ben.set_defaults(func=cmd_bench, suite=None, system=None)
 
     per = sub.add_parser(
-        "perf", help="interpreter micro-benchmark (vectorized vs reference)")
+        "perf", help="engine micro-benchmarks (vectorized vs reference)")
+    per.add_argument("--target", default="interpreter",
+                     choices=("interpreter", "analysis"),
+                     help="what to benchmark: SCoP execution "
+                          "(interpreter) or dependence analysis + "
+                          "legality queries (analysis)")
     per.add_argument("--suite", default="polybench",
                      choices=BENCH_SUITES,
                      help="suite to time (default: polybench)")
-    per.add_argument("--param", type=int, default=20,
-                     help="uniform parameter binding (default: 20)")
+    per.add_argument("--param", type=int, default=None,
+                     help="uniform parameter binding for the interpreter "
+                          "target (default: 20; rejected for --target "
+                          "analysis, which concretizes at the fixed "
+                          "witness sizes)")
     per.add_argument("--repeat", type=int, default=3,
                      help="timed laps per engine, best-of (default: 3)")
     per.add_argument("--budget", type=int, default=2_000_000,
@@ -368,8 +549,8 @@ def build_parser() -> argparse.ArgumentParser:
     per.add_argument("--limit", type=int, metavar="N",
                      help="only the first N kernels")
     per.add_argument("--json", metavar="FILE",
-                     help="write the JSON report to FILE "
-                          "(e.g. BENCH_interpreter.json)")
+                     help="write the JSON report to FILE (e.g. "
+                          "BENCH_interpreter.json / BENCH_analysis.json)")
     per.add_argument("--format", default="table",
                      choices=("table", "json"),
                      help="stdout format (default: table)")

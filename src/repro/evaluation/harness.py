@@ -27,6 +27,7 @@ control the persistent store.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple, Union)
@@ -111,17 +112,34 @@ def suites() -> Dict[str, Suite]:
 
 _RUN_CACHE: Dict[Tuple, List[BenchResult]] = {}
 _RETRIEVER_CACHE: Dict[Tuple, Retriever] = {}
+_RETRIEVER_LOCK = threading.Lock()
 _SUITE_CACHE: Dict[Tuple, Suite] = {}
 
 
 def shared_retriever(size: int = DEFAULT_DATASET_SIZE,
                      seed: int = DEFAULT_SEED,
-                     generator: str = "looprag") -> Retriever:
-    key = (size, seed, generator)
-    if key not in _RETRIEVER_CACHE:
-        _RETRIEVER_CACHE[key] = Retriever(
-            cached_dataset(size, seed, generator))
-    return _RETRIEVER_CACHE[key]
+                     generator: str = "looprag",
+                     method: str = "loop-aware") -> Retriever:
+    """Memoized retriever per (dataset_size, seed, generator, method).
+
+    The index itself is method-agnostic (``method`` is a per-``rank``
+    argument), so method keys over the same corpus alias one instance
+    instead of re-indexing; the lock keeps concurrent thread-pool
+    workers from constructing the same retriever twice.
+    """
+    key = (size, seed, generator, method)
+    got = _RETRIEVER_CACHE.get(key)
+    if got is not None:
+        return got
+    with _RETRIEVER_LOCK:
+        got = _RETRIEVER_CACHE.get(key)
+        if got is None:
+            got = next((r for k, r in _RETRIEVER_CACHE.items()
+                        if k[:3] == key[:3]), None)
+            if got is None:
+                got = Retriever(cached_dataset(size, seed, generator))
+            _RETRIEVER_CACHE[key] = got
+    return got
 
 
 def _plan_suite(name: str) -> Suite:
@@ -252,7 +270,8 @@ def _plan_runner(plan: RunPlan) -> Callable:
         return _RUNNER_CACHE[plan]
     if plan.kind == "looprag":
         retriever = shared_retriever(plan.dataset_size, plan.seed,
-                                     plan.generator)
+                                     plan.generator,
+                                     plan.retrieval_method)
         system = LoopRAG(dataset=retriever.dataset,
                          persona=PERSONAS[plan.persona],
                          base_compiler=BASE_COMPILERS[plan.base],
@@ -326,7 +345,8 @@ def _warm_shared_state(plans: Sequence[RunPlan]) -> None:
     for plan in plans:
         _plan_suite(plan.suite)
         if plan.kind == "looprag":
-            shared_retriever(plan.dataset_size, plan.seed, plan.generator)
+            shared_retriever(plan.dataset_size, plan.seed, plan.generator,
+                             plan.retrieval_method)
 
 
 # ----------------------------------------------------------------------

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Tuple, Union
 
+import numpy as np
+
 Number = int
 AffineLike = Union["Affine", int]
 
@@ -176,6 +178,27 @@ def aff(value: AffineLike) -> Affine:
 def var(name: str, coeff: int = 1) -> Affine:
     """Shorthand for :meth:`Affine.var`."""
     return Affine.var(name, coeff)
+
+
+def affine_column(expr: Affine, columns: Mapping[str, "np.ndarray"],
+                  params: Mapping[str, int], length: int) -> "np.ndarray":
+    """Evaluate an affine expression over int64 column vectors.
+
+    The batch counterpart of :meth:`Affine.evaluate`: names resolve
+    through ``columns`` first (one value per row) and fall back to the
+    scalar ``params`` binding; an unbound name raises the same
+    ``KeyError`` the scalar evaluator does.  Shared by the batched
+    instance enumeration (``runtime.instances``), the trace simulator
+    and the vectorized dependence engine.
+    """
+    out = np.full(length, expr.const, dtype=np.int64)
+    for name, coeff in expr.terms:
+        col = columns.get(name)
+        if col is None:
+            out += coeff * int(params[name])
+        else:
+            out += coeff * col
+    return out
 
 
 def max_eval(exprs: Iterable[Affine], env: Mapping[str, int]) -> int:

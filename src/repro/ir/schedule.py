@@ -19,7 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Mapping, Sequence, Tuple, Union
 
-from .affine import Affine, aff
+import numpy as np
+
+from .affine import Affine, aff, affine_column
 
 
 @dataclass(frozen=True)
@@ -116,6 +118,21 @@ class Schedule:
     def evaluate(self, env: Mapping[str, int]) -> Tuple[int, ...]:
         return tuple(dim.evaluate(env) for dim in self.dims)
 
+    def evaluate_columns(self, columns: Mapping[str, "np.ndarray"],
+                         params: Mapping[str, int],
+                         length: int) -> "np.ndarray":
+        """Batch :meth:`evaluate`: one ``(length, len(dims))`` int64 row
+        of schedule keys per environment row.
+
+        Iterators resolve through ``columns``, parameters through
+        ``params`` — the same precedence (and the same ``KeyError`` on
+        unbound names) as the scalar evaluator.
+        """
+        keys = np.empty((length, len(self.dims)), dtype=np.int64)
+        for d, dim in enumerate(self.dims):
+            keys[:, d] = dim_column(dim, columns, params, length)
+        return keys
+
     @property
     def depth(self) -> int:
         """Number of dynamic dimensions."""
@@ -147,6 +164,22 @@ class Schedule:
 
     def __str__(self) -> str:
         return "[" + ", ".join(str(d) for d in self.dims) + "]"
+
+
+def dim_column(dim: SchedDim, columns: Mapping[str, "np.ndarray"],
+               params: Mapping[str, int], length: int) -> "np.ndarray":
+    """One schedule dimension evaluated over column vectors.
+
+    ``TileDim`` uses int64 floor division, which matches Python ``//``
+    semantics for negatives — block indices of shifted/skewed spaces
+    stay exact.
+    """
+    if isinstance(dim, ConstDim):
+        return np.full(length, dim.value, dtype=np.int64)
+    col = affine_column(dim.expr, columns, params, length)
+    if isinstance(dim, TileDim):
+        return col // dim.size
+    return col
 
 
 def align_schedules(schedules: Sequence[Schedule]) -> List[Schedule]:

@@ -1,0 +1,189 @@
+"""Exact structural (de)serialization of the IR to JSON-able dicts.
+
+The pseudo-C printer/parser round-trip is *readable* but not faithful:
+schedule constants renumber, tile dimensions re-derive, pragmas drop —
+good enough for humans, not for caches that must reproduce a `Program`
+bit-for-bit.  This module encodes the IR itself: affine expressions by
+their terms, domains by their bound lists, schedules dimension by
+dimension, bodies as tagged expression trees.  ``program_from_json ∘
+program_to_json`` is the identity on every field that feeds
+``Program.fingerprint()`` (and on provenance, which doesn't), so the
+persistent corpus cache can round-trip synthesized *and* transformed
+programs without replaying recipes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .affine import Affine
+from .domain import Domain, IterSpec
+from .expr import Assignment, Bin, Call, Const, Expr, IterExpr, Neg, Ref, Scalar
+from .program import ArrayDecl, Program
+from .schedule import ConstDim, LoopDim, Schedule, SchedDim, TileDim
+from .statement import Statement
+
+
+# ----------------------------------------------------------------------
+# Affine
+# ----------------------------------------------------------------------
+def affine_to_json(expr: Affine) -> Dict[str, Any]:
+    return {"terms": [[name, coeff] for name, coeff in expr.terms],
+            "const": expr.const}
+
+
+def affine_from_json(data: Dict[str, Any]) -> Affine:
+    return Affine(tuple((str(name), int(coeff))
+                        for name, coeff in data["terms"]),
+                  int(data["const"]))
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+def expr_to_json(expr: Expr) -> Dict[str, Any]:
+    if isinstance(expr, Const):
+        return {"node": "const", "value": expr.value}
+    if isinstance(expr, Scalar):
+        return {"node": "scalar", "name": expr.name}
+    if isinstance(expr, IterExpr):
+        return {"node": "iter", "expr": affine_to_json(expr.expr)}
+    if isinstance(expr, Ref):
+        return {"node": "ref", "array": expr.array,
+                "indices": [affine_to_json(ix) for ix in expr.indices]}
+    if isinstance(expr, Bin):
+        return {"node": "bin", "op": expr.op,
+                "lhs": expr_to_json(expr.lhs),
+                "rhs": expr_to_json(expr.rhs)}
+    if isinstance(expr, Neg):
+        return {"node": "neg", "operand": expr_to_json(expr.operand)}
+    if isinstance(expr, Call):
+        return {"node": "call", "func": expr.func,
+                "arg": expr_to_json(expr.arg)}
+    raise TypeError(f"unserializable expression {type(expr).__name__}")
+
+
+def expr_from_json(data: Dict[str, Any]) -> Expr:
+    node = data["node"]
+    if node == "const":
+        return Const(float(data["value"]))
+    if node == "scalar":
+        return Scalar(str(data["name"]))
+    if node == "iter":
+        return IterExpr(affine_from_json(data["expr"]))
+    if node == "ref":
+        return Ref(str(data["array"]),
+                   tuple(affine_from_json(ix) for ix in data["indices"]))
+    if node == "bin":
+        return Bin(str(data["op"]), expr_from_json(data["lhs"]),
+                   expr_from_json(data["rhs"]))
+    if node == "neg":
+        return Neg(expr_from_json(data["operand"]))
+    if node == "call":
+        return Call(str(data["func"]), expr_from_json(data["arg"]))
+    raise ValueError(f"unknown expression node {node!r}")
+
+
+# ----------------------------------------------------------------------
+# Domains, schedules, statements
+# ----------------------------------------------------------------------
+def _domain_to_json(domain: Domain) -> List[Dict[str, Any]]:
+    return [{"name": spec.name,
+             "lowers": [affine_to_json(e) for e in spec.lowers],
+             "uppers": [affine_to_json(e) for e in spec.uppers]}
+            for spec in domain.iters]
+
+
+def _domain_from_json(data: List[Dict[str, Any]]) -> Domain:
+    return Domain(tuple(
+        IterSpec(str(item["name"]),
+                 tuple(affine_from_json(e) for e in item["lowers"]),
+                 tuple(affine_from_json(e) for e in item["uppers"]))
+        for item in data))
+
+
+def _dim_to_json(dim: SchedDim) -> Dict[str, Any]:
+    if isinstance(dim, ConstDim):
+        return {"dim": "const", "value": dim.value}
+    if isinstance(dim, TileDim):
+        return {"dim": "tile", "expr": affine_to_json(dim.expr),
+                "size": dim.size}
+    return {"dim": "loop", "expr": affine_to_json(dim.expr)}
+
+
+def _dim_from_json(data: Dict[str, Any]) -> SchedDim:
+    kind = data["dim"]
+    if kind == "const":
+        return ConstDim(int(data["value"]))
+    if kind == "tile":
+        return TileDim(affine_from_json(data["expr"]), int(data["size"]))
+    if kind == "loop":
+        return LoopDim(affine_from_json(data["expr"]))
+    raise ValueError(f"unknown schedule dimension {kind!r}")
+
+
+def _statement_to_json(stmt: Statement) -> Dict[str, Any]:
+    return {
+        "name": stmt.name,
+        "domain": _domain_to_json(stmt.domain),
+        "schedule": [_dim_to_json(d) for d in stmt.schedule.dims],
+        "lhs": expr_to_json(stmt.body.lhs),
+        "op": stmt.body.op,
+        "rhs": expr_to_json(stmt.body.rhs),
+        "guards": [affine_to_json(g) for g in stmt.guards],
+        "reg_accum": stmt.reg_accum,
+    }
+
+
+def _statement_from_json(data: Dict[str, Any]) -> Statement:
+    return Statement(
+        name=str(data["name"]),
+        domain=_domain_from_json(data["domain"]),
+        schedule=Schedule(tuple(_dim_from_json(d)
+                                for d in data["schedule"])),
+        body=Assignment(expr_from_json(data["lhs"]), str(data["op"]),
+                        expr_from_json(data["rhs"])),
+        guards=tuple(affine_from_json(g) for g in data["guards"]),
+        reg_accum=bool(data["reg_accum"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Programs
+# ----------------------------------------------------------------------
+def program_to_json(program: Program) -> Dict[str, Any]:
+    return {
+        "name": program.name,
+        "params": list(program.params),
+        "arrays": [{"name": a.name,
+                    "dims": [affine_to_json(d) for d in a.dims],
+                    "init": a.init}
+                   for a in program.arrays],
+        "statements": [_statement_to_json(s) for s in program.statements],
+        "scalars": [[name, value] for name, value in program.scalars],
+        "outputs": list(program.outputs),
+        "parallel_dims": sorted(program.parallel_dims),
+        "vector_dims": sorted(program.vector_dims),
+        "provenance": list(program.provenance),
+        "tags": sorted(program.tags),
+    }
+
+
+def program_from_json(data: Dict[str, Any]) -> Program:
+    return Program(
+        name=str(data["name"]),
+        params=tuple(str(p) for p in data["params"]),
+        arrays=tuple(
+            ArrayDecl(str(a["name"]),
+                      tuple(affine_from_json(d) for d in a["dims"]),
+                      str(a["init"]))
+            for a in data["arrays"]),
+        statements=tuple(_statement_from_json(s)
+                         for s in data["statements"]),
+        scalars=tuple((str(n), float(v)) for n, v in data["scalars"]),
+        outputs=tuple(str(o) for o in data["outputs"]),
+        parallel_dims=frozenset(int(d) for d in data["parallel_dims"]),
+        vector_dims=frozenset(int(d) for d in data["vector_dims"]),
+        provenance=tuple(str(p) for p in data["provenance"]),
+        tags=frozenset(str(t) for t in data["tags"]),
+    )

@@ -67,10 +67,22 @@ def clone_storage(storage: Storage) -> Storage:
 
 
 def checksum(storage: Storage, arrays: Tuple[str, ...]) -> float:
-    """Order-stable checksum over selected arrays (the quick filter)."""
+    """Order-stable checksum over selected arrays (the quick filter).
+
+    Candidates that blow up numerically leave ``inf``/``nan`` behind;
+    their checksum is data, not a fault.  Non-finite handling is
+    explicit and deterministic: the dot products run under ``errstate``
+    (no per-kernel ``RuntimeWarning`` spam from ``inf * finite`` terms),
+    IEEE-754 propagation decides the result as before, and any NaN
+    outcome is canonicalized to the positive quiet ``float("nan")`` so
+    its textual form ("nan") is stable across platforms and runs.
+    """
     total = 0.0
-    for name in sorted(arrays):
-        arr = storage[name]
-        weights = np.arange(1, arr.size + 1, dtype=np.float64)
-        total += float(np.dot(arr.ravel(), np.sin(weights)))
+    with np.errstate(invalid="ignore", over="ignore"):
+        for name in sorted(arrays):
+            arr = storage[name]
+            weights = np.arange(1, arr.size + 1, dtype=np.float64)
+            total += float(np.dot(arr.ravel(), np.sin(weights)))
+    if total != total:  # NaN: canonicalize sign/payload
+        return float("nan")
     return total

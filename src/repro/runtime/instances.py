@@ -33,30 +33,15 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..ir.affine import Affine
+#: ``affine_column`` moved to ``ir.affine`` (shared with the analysis
+#: engines); re-exported here for the runtime-side consumers
+from ..ir.affine import affine_column  # noqa: F401
 from ..ir.domain import Domain
 from ..ir.program import Program
+from ..ir.schedule import dim_column
 
 #: column environment: iterator name -> int64 column vector
 Columns = Dict[str, np.ndarray]
-
-
-def affine_column(expr: Affine, columns: Mapping[str, np.ndarray],
-                  params: Mapping[str, int], length: int) -> np.ndarray:
-    """Evaluate an affine expression over column vectors.
-
-    Iterators resolve through ``columns``, parameters through ``params``;
-    an unbound name raises ``KeyError`` exactly like the scalar
-    ``Affine.evaluate`` does.
-    """
-    out = np.full(length, expr.const, dtype=np.int64)
-    for name, coeff in expr.terms:
-        col = columns.get(name)
-        if col is None:
-            out += coeff * int(params[name])
-        else:
-            out += coeff * col
-    return out
 
 
 def domain_points(domain: Domain, params: Mapping[str, int],
@@ -199,7 +184,7 @@ def sorted_instances(program: Program, params: Mapping[str, int],
                    for d, name in enumerate(stmt.domain.iterator_names)}
         keys = np.empty((len(kept), width), dtype=np.int64)
         for d, dim in enumerate(schedules[si].dims):
-            keys[:, d] = _dim_column(dim, columns, params, len(kept))
+            keys[:, d] = dim_column(dim, columns, params, len(kept))
         per_points.append(points)
         per_keys.append(keys)
         per_si.append(np.full(len(kept), si, dtype=np.int64))
@@ -217,19 +202,6 @@ def sorted_instances(program: Program, params: Mapping[str, int],
                                          for d in range(width - 1, -1, -1)))
     return InstanceBatch(points=tuple(per_points), si=si_vec[order],
                          row=row_vec[order], keys=keys[order])
-
-
-def _dim_column(dim, columns: Columns, params: Mapping[str, int],
-                length: int) -> np.ndarray:
-    from ..ir.schedule import ConstDim, TileDim
-
-    if isinstance(dim, ConstDim):
-        return np.full(length, dim.value, dtype=np.int64)
-    col = affine_column(dim.expr, columns, params, length)
-    if isinstance(dim, TileDim):
-        # int64 floor division matches Python semantics for negatives
-        return col // dim.size
-    return col
 
 
 def instance_list(program: Program, params: Mapping[str, int],

@@ -3,7 +3,7 @@
 from .colagen import ColaGenSynthesizer
 from .dataset import (DATASET_PARAMS, DEFAULT_DATASET_SIZE, Dataset,
                       DatasetEntry, build_dataset, cached_dataset,
-                      transformation_kinds)
+                      dataset_signature, transformation_kinds)
 from .generator import ExampleSynthesizer, SynthesisError
 from .parameters import NAME_LIST, SIZE_LIST, LoopParameters
 from .store import load_dataset, save_dataset
@@ -11,7 +11,8 @@ from .store import load_dataset, save_dataset
 __all__ = [
     "ColaGenSynthesizer",
     "DATASET_PARAMS", "DEFAULT_DATASET_SIZE", "Dataset", "DatasetEntry",
-    "build_dataset", "cached_dataset", "transformation_kinds",
+    "build_dataset", "cached_dataset", "dataset_signature",
+    "transformation_kinds",
     "ExampleSynthesizer", "SynthesisError",
     "NAME_LIST", "SIZE_LIST", "LoopParameters",
     "load_dataset", "save_dataset",

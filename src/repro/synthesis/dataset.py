@@ -108,13 +108,83 @@ def build_dataset(size: int = DEFAULT_DATASET_SIZE, seed: int = 0,
 _DATASET_CACHE = {}
 
 
+def _dataset_cache_file(size: int, seed: int, generator: str):
+    """Path of the persisted corpus (inside the shared cache dir).
+
+    The file name embeds :func:`dataset_signature`, so any edit to a
+    corpus-determining module changes the name — stale corpora are
+    simply never found again (``make clean-cache`` reclaims them).
+    """
+    from ..evaluation.store import cache_dir
+
+    sig = dataset_signature(size, seed, generator)
+    return (cache_dir() / "datasets"
+            / f"{generator}-n{size}-s{seed}-{sig}.json")
+
+
+def _load_persistent(size: int, seed: int, generator: str):
+    from ..evaluation.store import store_enabled
+
+    if not store_enabled():
+        return None
+    path = _dataset_cache_file(size, seed, generator)
+    if not path.exists():
+        return None
+    from .store import load_dataset
+
+    try:
+        return load_dataset(str(path))
+    except Exception:
+        return None  # corrupt/truncated file: rebuild and rewrite
+
+
+def _store_persistent(dataset: Dataset, size: int, seed: int,
+                      generator: str) -> None:
+    import os
+
+    from ..evaluation.store import store_enabled
+
+    if not store_enabled():
+        return
+    from .store import save_dataset
+
+    path = _dataset_cache_file(size, seed, generator)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # write-then-rename: concurrent processes racing on a cold cache
+    # each publish a complete file instead of interleaving fragments
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        save_dataset(dataset, str(tmp))
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
 def cached_dataset(size: int = DEFAULT_DATASET_SIZE, seed: int = 0,
                    generator: str = "looprag") -> Dataset:
-    """Session-cached :func:`build_dataset` (experiments share corpora)."""
+    """Memoized :func:`build_dataset` with an on-disk layer.
+
+    Corpora are cached at two levels: in-process (experiments share
+    corpora) and persistently under ``<cache-dir>/datasets/`` keyed by
+    :func:`dataset_signature` — the ~tens-of-seconds synthesis +
+    PLuTo-optimization build is paid once per machine, not once per
+    process.  ``REPRO_CACHE_DIR`` moves the directory and
+    ``REPRO_NO_CACHE`` disables the disk layer, exactly like the result
+    store.  Loaded corpora are bit-identical to built ones (exact
+    indexed texts and properties are stored — see
+    ``synthesis.store``), so retrieval ranks and demonstrations don't
+    depend on which level served the corpus.
+    """
     key = (size, seed, generator)
-    if key not in _DATASET_CACHE:
-        _DATASET_CACHE[key] = build_dataset(size, seed, generator)
-    return _DATASET_CACHE[key]
+    dataset = _DATASET_CACHE.get(key)
+    if dataset is None:
+        dataset = _load_persistent(size, seed, generator)
+        if dataset is None:
+            dataset = build_dataset(size, seed, generator)
+            _store_persistent(dataset, size, seed, generator)
+        _DATASET_CACHE[key] = dataset
+    return dataset
 
 
 _SIGNATURE_CACHE = {}
@@ -124,12 +194,17 @@ def dataset_signature(size: int = DEFAULT_DATASET_SIZE, seed: int = 0,
                       generator: str = "looprag") -> str:
     """Stable content signature of a synthesized corpus.
 
-    The evaluation layer's persistent result store keys runs on this:
-    two processes get the same signature iff they would build the same
-    corpus — the (size, seed, generator) parameters *and* the sources of
-    the synthesizers and of PLuTo (which optimizes every entry) agree.
-    Editing any of those modules changes the signature and invalidates
-    stored results instead of silently serving stale ones.
+    The evaluation layer's persistent result store keys runs on this,
+    and the on-disk corpus cache embeds it in its file names: two
+    processes get the same signature iff they would build the same
+    corpus — the (size, seed, generator) parameters *and* the sources
+    of every corpus-determining module agree.  That closure covers the
+    synthesizers, PLuTo and the compiler passes it drives, the
+    transform implementations recipes replay, the dependence/property
+    analyses (both engines), the C printer whose text BM25 indexes, and
+    the (de)serialization itself.  Editing any of those changes the
+    signature and invalidates stored corpora/results instead of
+    silently serving stale ones.
     """
     key = (size, seed, generator)
     if key not in _SIGNATURE_CACHE:
@@ -137,14 +212,27 @@ def dataset_signature(size: int = DEFAULT_DATASET_SIZE, seed: int = 0,
         import inspect
         import sys
 
+        from ..analysis import dependences as dependences_module
+        from ..analysis import properties as properties_module
+        from ..analysis import vectorized as vectorized_module
+        from ..codegen import cprinter as cprinter_module
+        from ..compilers import passes as passes_module
         from ..compilers import pluto as pluto_module
+        from ..ir import serialize as serialize_module
+        from ..transforms import (fusion, interchange, parallel, recipe,
+                                  scalar, skewing, tiling)
         from . import colagen as colagen_module
         from . import generator as generator_module
         from . import parameters as parameters_module
+        from . import store as store_module
 
         digest = hashlib.sha256(repr(key).encode())
         for module in (generator_module, colagen_module,
-                       parameters_module, pluto_module,
+                       parameters_module, pluto_module, passes_module,
+                       dependences_module, vectorized_module,
+                       properties_module, cprinter_module,
+                       recipe, fusion, interchange, parallel, scalar,
+                       skewing, tiling, serialize_module, store_module,
                        sys.modules[__name__]):
             digest.update(inspect.getsource(module).encode())
         _SIGNATURE_CACHE[key] = digest.hexdigest()[:16]

@@ -9,20 +9,37 @@ dicts — so a stored corpus is human-readable and diffable.
 Only *original* example programs are stored as text; the optimized
 versions are reconstructed by replaying the stored recipe, which keeps
 the file compact and guarantees recipe/optimized consistency.
+
+Format 2 additionally stores, per entry, the *structural* IR of both
+programs (``repro.ir.serialize`` — the printer/parser round-trip is
+readable but not faithful: schedule constants renumber, so replaying a
+recipe against a re-parsed example can fail or drift), the exact
+indexed texts (``example_text`` / ``optimized_text``) and the extracted
+:class:`~repro.analysis.properties.LoopProperties`.  A loaded corpus is
+therefore *bit-identical* to the built one — same fingerprints, same
+retrieval ranks, same demonstration prompts — without re-running PLuTo,
+recipe replay or property extraction.  This is what lets
+``cached_dataset`` persist corpora across processes
+(``.repro_cache/datasets/``).  Format-1 files still load through the
+legacy parse-and-replay path; their texts and properties are
+recomputed.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import asdict
 from typing import Any, Dict, List
 
-from ..analysis.properties import extract_properties
+from ..analysis.properties import LoopProperties, extract_properties
 from ..codegen import scop_body_to_c
 from ..ir.parser import parse_scop
+from ..ir.serialize import program_from_json, program_to_json
 from ..transforms import TransformRecipe, TransformStep
 from .dataset import Dataset, DatasetEntry
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+_READABLE_FORMATS = (1, 2)
 
 
 def _program_source(entry: DatasetEntry) -> str:
@@ -50,6 +67,30 @@ def _recipe_from_json(data: List[Dict[str, Any]]) -> TransformRecipe:
     return TransformRecipe(tuple(steps))
 
 
+def _properties_to_json(props: LoopProperties) -> Dict[str, Any]:
+    payload = asdict(props)
+    for name, value in payload.items():
+        if isinstance(value, tuple):
+            payload[name] = list(value)
+    return payload
+
+
+def _properties_from_json(data: Dict[str, Any]) -> LoopProperties:
+    return LoopProperties(
+        n_statements=int(data["n_statements"]),
+        bounds_iter_refs=int(data["bounds_iter_refs"]),
+        loop_depth=int(data["loop_depth"]),
+        perfect=bool(data["perfect"]),
+        n_dependences=int(data["n_dependences"]),
+        dep_types=tuple(str(t) for t in data["dep_types"]),
+        max_dep_distance=int(data["max_dep_distance"]),
+        n_arrays=int(data["n_arrays"]),
+        array_names=tuple(str(n) for n in data["array_names"]),
+        total_array_cells=int(data["total_array_cells"]),
+        index_signatures=tuple(str(s) for s in data["index_signatures"]),
+    )
+
+
 def save_dataset(dataset: Dataset, path: str) -> None:
     """Write a dataset to ``path`` as JSON."""
     payload = {
@@ -59,8 +100,13 @@ def save_dataset(dataset: Dataset, path: str) -> None:
         "entries": [
             {
                 "name": entry.name,
-                "source": _program_source(entry),
+                "source": _program_source(entry),  # human-readable view
                 "recipe": _recipe_to_json(entry.recipe),
+                "program": program_to_json(entry.example),
+                "optimized": program_to_json(entry.optimized),
+                "example_text": entry.example_text,
+                "optimized_text": entry.optimized_text,
+                "properties": _properties_to_json(entry.properties),
             }
             for entry in dataset
         ],
@@ -73,23 +119,31 @@ def load_dataset(path: str) -> Dataset:
     """Load a dataset written by :func:`save_dataset`."""
     with open(path) as handle:
         payload = json.load(handle)
-    if payload.get("format") != FORMAT_VERSION:
+    if payload.get("format") not in _READABLE_FORMATS:
         raise ValueError(
             f"unsupported dataset format {payload.get('format')!r}")
     entries: List[DatasetEntry] = []
     for item in payload["entries"]:
-        example = parse_scop(item["source"])
-        example = example.renamed(item["name"])
         recipe = _recipe_from_json(item["recipe"])
-        optimized = recipe.apply(example)
+        if "program" in item:  # format 2: exact structural round-trip
+            example = program_from_json(item["program"])
+            optimized = program_from_json(item["optimized"])
+        else:  # format 1: parse the pseudo-C, replay the recipe
+            example = parse_scop(item["source"]).renamed(item["name"])
+            optimized = recipe.apply(example)
+        properties = (_properties_from_json(item["properties"])
+                      if "properties" in item
+                      else extract_properties(example))
         entries.append(DatasetEntry(
             name=item["name"],
             example=example,
-            example_text=scop_body_to_c(example),
+            example_text=item.get("example_text",
+                                  scop_body_to_c(example)),
             optimized=optimized,
-            optimized_text=scop_body_to_c(optimized),
+            optimized_text=item.get("optimized_text",
+                                    scop_body_to_c(optimized)),
             recipe=recipe,
-            properties=extract_properties(example),
+            properties=properties,
         ))
     return Dataset(entries=tuple(entries),
                    generator=payload["generator"],

@@ -1,0 +1,105 @@
+"""Persistent corpus cache: build -> persist -> reload, bit-identically.
+
+`cached_dataset` keeps corpora on disk under `<cache-dir>/datasets/`
+keyed by `dataset_signature()`; a corpus served from disk must be
+indistinguishable from a freshly built one — same signature, same
+indexed texts, same properties, and bit-identical retrieval ranks.
+"""
+
+import json
+
+import pytest
+
+import repro.synthesis.dataset as dataset_mod
+from repro.ir import parse_scop
+from repro.retrieval import Retriever
+from repro.synthesis import cached_dataset, dataset_signature
+
+SIZE, SEED = 10, 31
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.setattr(dataset_mod, "_DATASET_CACHE", {})
+    return tmp_path
+
+
+PROBE = """
+scop probe(N) {
+  array A[N][N] output;
+  array B[N][N];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      A[i][j] += B[j][i] * 2.0;
+}
+"""
+
+
+def ranks(dataset):
+    probe = parse_scop(PROBE)
+    retriever = Retriever(dataset)
+    out = {}
+    for method in ("loop-aware", "bm25", "weighted"):
+        out[method] = [(demo.entry.name, demo.score)
+                       for demo in retriever.rank(probe, method)]
+    return out
+
+
+class TestPersistentCache:
+    def test_build_persists_then_reloads(self, isolated_cache,
+                                         monkeypatch):
+        built = cached_dataset(SIZE, SEED)
+        files = list((isolated_cache / "datasets").glob("*.json"))
+        assert len(files) == 1
+        assert dataset_signature(SIZE, SEED) in files[0].name
+
+        calls = []
+        monkeypatch.setattr(dataset_mod, "build_dataset",
+                            lambda *a, **k: calls.append(a) or
+                            pytest.fail("should load from disk"))
+        monkeypatch.setattr(dataset_mod, "_DATASET_CACHE", {})
+        loaded = cached_dataset(SIZE, SEED)
+        assert not calls
+        assert len(loaded) == len(built)
+        assert loaded.generator == built.generator
+        assert loaded.seed == built.seed
+        for a, b in zip(built, loaded):
+            assert a.name == b.name
+            assert a.example_text == b.example_text
+            assert a.optimized_text == b.optimized_text
+            assert a.recipe == b.recipe
+            assert a.properties == b.properties
+        # the signature is a pure function of (key, sources): identical
+        assert dataset_signature(SIZE, SEED) == dataset_signature(SIZE,
+                                                                  SEED)
+
+    def test_retrieval_ranks_bit_identical(self, isolated_cache):
+        built = cached_dataset(SIZE, SEED)
+        dataset_mod._DATASET_CACHE.clear()
+        loaded = cached_dataset(SIZE, SEED)
+        assert built is not loaded
+        assert ranks(built) == ranks(loaded)
+
+    def test_in_process_cache_still_shared(self, isolated_cache):
+        assert cached_dataset(SIZE, SEED) is cached_dataset(SIZE, SEED)
+
+    def test_no_cache_disables_disk_layer(self, isolated_cache,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cached_dataset(SIZE, SEED)
+        assert not list(isolated_cache.glob("datasets/*.json"))
+
+    def test_corrupt_file_rebuilds(self, isolated_cache):
+        cached_dataset(SIZE, SEED)
+        [path] = (isolated_cache / "datasets").glob("*.json")
+        path.write_text("{ truncated garbage")
+        dataset_mod._DATASET_CACHE.clear()
+        rebuilt = cached_dataset(SIZE, SEED)
+        assert len(rebuilt) == SIZE
+        # the rebuild rewrote a valid file
+        [path] = (isolated_cache / "datasets").glob("*.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == 2
+        assert len(payload["entries"]) == SIZE

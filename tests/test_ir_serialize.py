@@ -1,0 +1,56 @@
+"""Structural IR serialization: exact round-trips, including transforms."""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ir.serialize import program_from_json, program_to_json
+from repro.synthesis.generator import ExampleSynthesizer
+from repro.transforms import interchange, parallelize, skew, tile
+
+_SETTINGS = dict(deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def roundtrip(program):
+    # through actual JSON text, not just dicts — the corpus cache writes
+    # files, so int/float/tuple fidelity must survive json.dumps/loads
+    restored = program_from_json(
+        json.loads(json.dumps(program_to_json(program))))
+    assert restored == program
+    assert restored.fingerprint() == program.fingerprint()
+    return restored
+
+
+class TestRoundTrip:
+    def test_canonical_kernels(self, gemm, syrk, jacobi2d, stream, recur):
+        for program in (gemm, syrk, jacobi2d, stream, recur):
+            roundtrip(program)
+
+    @settings(max_examples=25, **_SETTINGS)
+    @given(index=st.integers(min_value=0, max_value=400))
+    def test_synthesized(self, index):
+        roundtrip(ExampleSynthesizer(base_seed=7).synthesize(index))
+
+    def test_transformed_programs(self, gemm):
+        """Tiled/skewed/parallelized schedules — the shapes the pseudo-C
+        round-trip loses — must survive structurally."""
+        candidates = [
+            tile(gemm, [1, 3], 8),
+            skew(gemm, target_col=3, source_col=1, factor=2),
+            interchange(gemm, 1, 3, stmts=["S2"]),
+            parallelize(tile(gemm, [1], 4), 1),
+        ]
+        for candidate in candidates:
+            restored = roundtrip(candidate)
+            assert restored.parallel_dims == candidate.parallel_dims
+            assert [str(s.schedule) for s in restored.statements] == \
+                [str(s.schedule) for s in candidate.statements]
+
+    def test_provenance_and_tags_survive(self, stream):
+        tagged = stream.with_provenance("note-a", "note-b").with_tags(
+            "dummy-call")
+        restored = roundtrip(tagged)
+        assert restored.provenance == tagged.provenance
+        assert restored.tags == tagged.tags
