@@ -6,13 +6,19 @@ JOBS ?= 4
 
 export PYTHONPATH := src
 
-.PHONY: test test-quick bench perf clean-cache
+.PHONY: test test-quick test-reference bench perf clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-quick:
 	REPRO_SUITE_LIMIT=3 $(PYTHON) -m pytest -x -q
+
+# the executable specifications (scalar interpreter + per-instance
+# dependence walk) must stay green on their own, not just as oracles
+test-reference:
+	REPRO_ENGINE=reference REPRO_ANALYSIS=reference \
+	    $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m repro bench --suite all --system looprag-deepseek \

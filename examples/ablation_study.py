@@ -7,6 +7,7 @@ feedback rounds — the per-kernel view of Tables 6 and 7.
 Run with:  python examples/ablation_study.py
 """
 
+import os
 import warnings
 
 warnings.filterwarnings("ignore")
@@ -36,10 +37,12 @@ scop syrk(N, M) {
 PERF = {"N": 1500, "M": 1200}
 TEST = {"N": 8, "M": 6}
 
+CORPUS_SIZE = int(os.environ.get("REPRO_EXAMPLE_SIZE", "300"))
+
 
 def main() -> None:
     target = parse_scop(SOURCE)
-    dataset = cached_dataset(size=300, seed=0)
+    dataset = cached_dataset(size=CORPUS_SIZE, seed=0)
     retriever = Retriever(dataset)
 
     rows = []

@@ -1,0 +1,64 @@
+"""Batched service: many requests, one session, parallel workers.
+
+Shows the throughput spelling of the API: build one
+:class:`OptimizerSession`, submit a heterogeneous request batch
+(LOOPRAG, the bare-LLM baseline and a compiler baseline over several
+kernels), and let ``optimize_many`` fan misses across workers while the
+persistent result store absorbs repeats — results are bit-identical to
+serial, whatever the worker count.
+
+Run with:  python examples/batch_service.py
+(set REPRO_EXAMPLE_SIZE to shrink the demonstration corpus,
+ REPRO_JOBS to change the worker count)
+"""
+
+import os
+import warnings
+
+warnings.filterwarnings("ignore")
+
+from repro.api import OptimizationRequest, OptimizerSession
+from repro.suites import SUITES
+
+CORPUS_SIZE = int(os.environ.get("REPRO_EXAMPLE_SIZE", "300"))
+KERNELS = ("gemm", "syrk", "mvt", "atax")
+
+
+def main() -> None:
+    polybench = SUITES["polybench"]()
+    benches = [polybench.get(name) for name in KERNELS]
+
+    session = OptimizerSession(dataset_size=CORPUS_SIZE, seed=0)
+
+    requests = []
+    for bench in benches:
+        requests.append(OptimizationRequest.make(
+            bench.program, bench.perf, bench.test,
+            system="looprag", persona="deepseek", tag=bench.name))
+    requests.append(OptimizationRequest.make(
+        benches[0].program, benches[0].perf, benches[0].test,
+        system="basellm", persona="gpt4", tag="gemm-baseline"))
+    requests.append(OptimizationRequest.make(
+        benches[0].program, benches[0].perf,
+        system="compiler", optimizer="pluto", tag="gemm-pluto"))
+
+    results = session.optimize_many(requests, jobs=int(
+        os.environ.get("REPRO_JOBS", "2")))
+
+    print(f"{'tag':16s} {'system':24s} {'pass':>5s} {'speedup':>9s}  "
+          f"cached")
+    for request, result in zip(requests, results):
+        print(f"{request.tag:16s} {result.system_label:24s} "
+              f"{str(result.passed):>5s} {result.speedup:8.2f}x  "
+              f"{result.from_cache}")
+
+    # a repeated batch is served entirely from the store
+    again = session.optimize_many(requests)
+    hits = sum(1 for r in again if r.from_cache)
+    print(f"\nrerun: {hits}/{len(again)} served from the result store; "
+          f"speedups identical: "
+          f"{[r.speedup for r in again] == [r.speedup for r in results]}")
+
+
+if __name__ == "__main__":
+    main()

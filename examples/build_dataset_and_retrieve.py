@@ -8,10 +8,13 @@ would receive (Appendix E.2).
 Run with:  python examples/build_dataset_and_retrieve.py
 """
 
+import os
 import random
 import warnings
 
 warnings.filterwarnings("ignore")
+
+CORPUS_SIZE = int(os.environ.get("REPRO_EXAMPLE_SIZE", "250"))
 
 from repro.analysis import cluster_distribution
 from repro.codegen import scop_body_to_c
@@ -39,7 +42,7 @@ scop gemm(NI, NJ, NK) {
 
 def main() -> None:
     # --- synthesis -----------------------------------------------------
-    dataset = build_dataset(size=250, seed=11)
+    dataset = build_dataset(size=CORPUS_SIZE, seed=11)
     print(f"synthesized {len(dataset)} example codes")
     print("transformation kinds triggered by PLuTo on the corpus:")
     for kind, count in sorted(transformation_kinds(dataset).items()):

@@ -1,17 +1,22 @@
-"""Quickstart: optimize one SCoP with LOOPRAG end to end.
+"""Quickstart: optimize one SCoP through the service API.
+
+An :class:`OptimizerSession` owns the expensive shared state (corpus,
+retriever index, analysis caches) once; typed requests go in, typed
+results come out.  Subscribe to ``session.events`` to watch the
+pipeline work.
 
 Run with:  python examples/quickstart.py
+(set REPRO_EXAMPLE_SIZE to shrink the demonstration corpus)
 """
 
+import os
 import warnings
 
 warnings.filterwarnings("ignore")
 
+from repro.api import OptimizationRequest, OptimizerSession
 from repro.codegen import scop_body_to_c
 from repro.ir import parse_scop
-from repro.llm import DEEPSEEK_V3
-from repro.pipeline import LoopRAG
-from repro.synthesis import cached_dataset
 
 # 1. Write your kernel in the C-like SCoP dialect (this is `syrk` from
 #    PolyBench, the paper's running example).
@@ -30,29 +35,39 @@ scop syrk(N, M) {
 }
 """
 
+CORPUS_SIZE = int(os.environ.get("REPRO_EXAMPLE_SIZE", "300"))
+
 
 def main() -> None:
     target = parse_scop(SOURCE)
     print("== original ==")
     print(scop_body_to_c(target))
 
-    # 2. Build (or reuse) the synthesized demonstration corpus and create
-    #    a LOOPRAG instance with the DeepSeek persona.
-    dataset = cached_dataset(size=300, seed=0)
-    looprag = LoopRAG(dataset, persona=DEEPSEEK_V3, seed=0)
+    # 2. Create a session: the synthesized corpus and retriever index
+    #    are built (or loaded from the persistent cache) exactly once
+    #    and reused by every request this session serves.
+    session = OptimizerSession(dataset_size=CORPUS_SIZE, seed=0)
 
-    # 3. Optimize: perf params drive the performance model, test params
+    # 3. Watch the pipeline: every stage streams structured events.
+    unsubscribe = session.events.subscribe(
+        lambda event: print(f"  {event}"))
+
+    # 4. Optimize: perf params drive the performance model, test params
     #    drive differential testing.
-    outcome = looprag.optimize(target,
-                               perf_params={"N": 1500, "M": 1200},
-                               test_params={"N": 8, "M": 6})
+    print("\n== session events ==")
+    result = session.optimize(OptimizationRequest.make(
+        target,
+        perf_params={"N": 1500, "M": 1200},
+        test_params={"N": 8, "M": 6},
+        persona="deepseek"))
+    unsubscribe()
 
     print("\n== LOOPRAG output ==")
-    print(f"passed equivalence testing : {outcome.passed}")
-    print(f"modeled speedup            : {outcome.speedup:.2f}x")
-    print(f"applied transformations    : {outcome.best_recipe}")
+    print(f"passed equivalence testing : {result.passed}")
+    print(f"modeled speedup            : {result.speedup:.2f}x")
+    print(f"applied transformations    : {result.recipe}")
     print("\n== optimized code ==")
-    print(scop_body_to_c(outcome.best_program))
+    print(result.best_code)
 
 
 if __name__ == "__main__":

@@ -13,35 +13,55 @@ Public API tour:
 * ``repro.retrieval``     — BM25 + LAScore demonstration retrieval
 * ``repro.llm``           — Appendix-E prompts + simulated LLM personas
 * ``repro.testing``       — mutation + coverage + differential testing
-* ``repro.pipeline``      — the four-step feedback loop and LoopRAG facade
+* ``repro.pipeline``      — the four-step feedback loop (+ old facades)
+* ``repro.api``           — the service API: sessions, registries, events
 * ``repro.suites``        — PolyBench (30) / TSVC (84) / LORE (49)
 * ``repro.evaluation``    — every table and figure of the paper
 
 Quickstart::
 
+    from repro.api import OptimizationRequest, OptimizerSession
     from repro.ir import parse_scop
-    from repro.llm import DEEPSEEK_V3
-    from repro.pipeline import LoopRAG
-    from repro.synthesis import cached_dataset
 
+    session = OptimizerSession(dataset_size=300)
     program = parse_scop(my_scop_source)
-    looprag = LoopRAG(cached_dataset(300), DEEPSEEK_V3)
-    outcome = looprag.optimize(program,
-                               perf_params={"N": 2000},
-                               test_params={"N": 8})
-    print(outcome.speedup, outcome.best_recipe)
+    result = session.optimize(OptimizationRequest.make(
+        program, perf_params={"N": 2000}, test_params={"N": 8}))
+    print(result.speedup, result.recipe)
+
+Batches reuse the session's corpus/retriever/caches and fan out across
+workers (bit-identical to serial)::
+
+    results = session.optimize_many(requests, jobs=4)
+
+``LoopRAG`` / ``BaseLLMOptimizer`` remain as deprecated shims with
+byte-identical outputs.
 """
 
 from .ir import parse_scop
 from .llm import DEEPSEEK_V3, GPT_4O, PERSONAS
-from .pipeline import BaseLLMOptimizer, LoopRAG
 from .synthesis import build_dataset, cached_dataset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def __getattr__(name):
+    # the service API and the deprecated facades import lazily, keeping
+    # ``import repro`` light and cycle-free
+    if name in ("OptimizerSession", "OptimizationRequest",
+                "OptimizationResult"):
+        from . import api
+        return getattr(api, name)
+    if name in ("LoopRAG", "BaseLLMOptimizer"):
+        from . import pipeline
+        return getattr(pipeline, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = [
     "parse_scop",
     "DEEPSEEK_V3", "GPT_4O", "PERSONAS",
+    "OptimizerSession", "OptimizationRequest", "OptimizationResult",
     "BaseLLMOptimizer", "LoopRAG",
     "build_dataset", "cached_dataset",
     "__version__",

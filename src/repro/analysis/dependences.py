@@ -68,6 +68,13 @@ _DEFAULT_PARAM = 10
 #: witness environments carry their own parameter binding so legality
 #: evaluates each witness at the size it was observed at
 _PARAM_SIZES = (_DEFAULT_PARAM, 13)
+#: third, scaled binding used only for programs whose written arrays
+#: have *non-uniform* subscripts (detected structurally by
+#: :func:`nonuniform_arrays`): there the 10/13 onsets are exactly the
+#: unreliable case, so the witness binding is scaled to 2x the largest
+#: default size, pushing the covered onset out to 26.  Uniform programs
+#: never pay for (or observe) the extra pass.
+_NONUNIFORM_PARAM = 2 * max(_PARAM_SIZES)
 _ANALYSIS_BUDGET = 200_000
 
 
@@ -142,6 +149,110 @@ def analysis_params(program: Program,
     return {p: value for p in program.params}
 
 
+#: constant-offset spread (max |Δconst| between two references of one
+#: array in one dimension) from which a dependence's onset may exceed
+#: the largest default binding: a spread of 13 puts the first
+#: occurrence at N ≈ 14, just past the 10/13 sizes
+_LATE_ONSET_SPREAD = max(_PARAM_SIZES)
+
+
+def _nonuniform_profile(program: Program) -> Tuple[frozenset, int]:
+    """``(late-onset arrays, scaled binding)`` — see :func:`nonuniform_arrays`.
+
+    Memoized per fingerprint.  The scaled binding is normally
+    ``_NONUNIFORM_PARAM`` (26) but grows with the largest constant
+    offset spread so that constant-offset classes (``X[i]`` vs
+    ``X[i+20]``: uniform distance, late onset) are concretized at a
+    size where they actually occur.
+    """
+    cached = _NONUNIFORM_CACHE.get(program.fingerprint())
+    if cached is not None:
+        return cached
+    params = set(program.params)
+    written = {s.write().array for s in program.statements}
+    flagged = set()
+    # Comparison is iterator-identity-agnostic on purpose: which loop a
+    # subscript walks does not move a dependence's onset (tmp[i][j]
+    # written vs tmp[i][k] read collide from size 1), so per dimension
+    # only the multiset of coefficient values is compared.  Offsets are
+    # anchored at the subscript's minimum over the iteration domain
+    # (constant lower bounds folded in), so both `X[i+20]` and a read
+    # under `for (j = 20; ...)` register the same spread.
+    coeff_shapes: Dict[str, set] = {}
+    anchored_offsets: Dict[Tuple[str, int], List[int]] = {}
+    for stmt in program.statements:
+        lowers = {}
+        for spec in stmt.domain.iters:
+            const_lowers = [e.const for e in spec.lowers
+                            if e.is_constant]
+            lowers[spec.name] = max(const_lowers, default=0)
+        for ref, _is_write in stmt.all_refs():
+            if ref.array not in written:
+                continue
+            dims = []
+            for dim, subscript in enumerate(ref.indices):
+                terms = tuple((v, c) for v, c in subscript.terms
+                              if c != 0)
+                if any(v in params for v, _c in terms):
+                    flagged.add(ref.array)
+                iter_terms = tuple((v, c) for v, c in terms
+                                   if v not in params)
+                if len(iter_terms) >= 2:
+                    flagged.add(ref.array)
+                dims.append(tuple(sorted(c for _v, c in iter_terms)))
+                anchor = subscript.const + sum(
+                    c * lowers.get(v, 0)
+                    for v, c in iter_terms if c > 0)
+                anchored_offsets.setdefault((ref.array, dim), []).append(
+                    anchor)
+            coeff_shapes.setdefault(ref.array, set()).add(tuple(dims))
+    for array, variants in coeff_shapes.items():
+        if len(variants) > 1:
+            flagged.add(array)
+    scaled = _NONUNIFORM_PARAM
+    for (array, _dim), anchors in anchored_offsets.items():
+        spread = max(anchors) - min(anchors)
+        if spread >= _LATE_ONSET_SPREAD:
+            flagged.add(array)
+            # cover onsets up to spread + margin (onset ≈ spread + 1
+            # for plain offsets; the margin absorbs guards shifting it)
+            scaled = max(scaled, spread + _LATE_ONSET_SPREAD)
+    result = (frozenset(flagged), scaled)
+    _NONUNIFORM_CACHE.put(program.fingerprint(), result)
+    return result
+
+
+def nonuniform_arrays(program: Program) -> frozenset:
+    """Written arrays whose dependence onsets may exceed the default
+    concretization bindings.
+
+    A dependence class is reliably visible at the fixed 10/13 sizes
+    only when every pair of accesses to the array agrees on the
+    *linear part* of each subscript dimension and their constant
+    offsets are small.  Four structural patterns break that:
+
+    * two references whose subscript coefficient values differ in some
+      dimension (``A[2*i]`` vs ``A[i+c]`` — the distance between
+      matching instances grows with ``i``).  Which *iterator* a
+      subscript walks is deliberately ignored (``tmp[i][j]`` written
+      vs ``tmp[i][k]`` read collide from size 1);
+    * a coupled subscript mentioning two or more iterators
+      (``A[i+j]`` — the matching set is a moving plane);
+    * a global parameter inside a subscript (``A[i+N]`` — the offset
+      itself scales with the binding);
+    * an anchored offset spread of 13 or more between two references —
+      the subscript's minimum over the iteration domain, so both
+      ``X[i]`` vs ``X[i+20]`` and a read under ``for (j = 20; ...)``
+      count (constant distance, but the first occurrence needs
+      ``N ≥ 21``).
+
+    Only *written* arrays matter (read-only arrays generate no
+    dependences).  The result drives the scaled third concretization
+    pass in :func:`compute_dependences`; memoized per fingerprint.
+    """
+    return _nonuniform_profile(program)[0]
+
+
 def _budget_exceeded(program: Program) -> Callable[[int], Exception]:
     """The (engine-shared) budget-exhaustion error factory."""
     def _exceeded(_budget: int) -> Exception:
@@ -175,12 +286,26 @@ def compute_dependences(program: Program,
     ``_PARAM_SIZES`` and the classes merged — witnesses remember their
     own binding, so downstream legality checks evaluate each witness at
     the size where the dependence actually occurred.
+
+    Programs with non-uniform subscripts on written arrays (see
+    :func:`nonuniform_arrays`) get a third pass at the scaled
+    ``_NONUNIFORM_PARAM`` binding, restricted to exactly those arrays:
+    their dependence onsets are the ones that can lie beyond the fixed
+    10/13 sizes, while uniform arrays' classes (and distance sets) stay
+    byte-identical to the two-size merge.  A scaled pass that would
+    blow the enumeration budget (very deep nests) is skipped — no
+    worse than the pre-hardening behavior.
     """
     if params is not None:
         collected = [_collect_pairs(program, params)]
     else:
         collected = [_collect_pairs(program, analysis_params(program, v))
                      for v in _PARAM_SIZES]
+        scaled_arrays, scaled_size = _nonuniform_profile(program)
+        if scaled_arrays:
+            scaled = _collect_scaled(program, scaled_arrays, scaled_size)
+            if scaled is not None:
+                collected.append(scaled)
     merged_pairs: Dict[str, Dict] = {KIND_RAW: {}, KIND_WAW: {}, KIND_WAR: {}}
     merged_distances: Dict[Tuple[str, int, int, str], set] = {}
     for pairs_by_kind, distance_sets in collected:
@@ -201,21 +326,68 @@ def compute_dependences(program: Program,
     return deps
 
 
-def _collect_pairs(program: Program, params: Mapping[str, int]):
+def _collect_scaled(program: Program, scaled_arrays: frozenset,
+                    scaled_size: int = _NONUNIFORM_PARAM):
+    """The scaled concretization pass for late-onset arrays.
+
+    Runs only the statements touching a flagged array (element state of
+    those arrays involves no other statement, so the access streams —
+    and thus every witness pair and distance vector — are identical to
+    a full-program pass restricted to those arrays), then remaps
+    statement indices back into the full program's numbering.  Returns
+    ``None`` when the scaled size would blow the enumeration budget;
+    the base sizes then stand alone, as before the hardening.
+    """
+    touching = [i for i, stmt in enumerate(program.statements)
+                if any(ref.array in scaled_arrays
+                       for ref, _w in stmt.all_refs())]
+    sub = program
+    if len(touching) < len(program.statements):
+        sub = program.with_statements(
+            [program.statements[i] for i in touching])
+    try:
+        pairs_by_kind, distance_sets = _collect_pairs(
+            sub, analysis_params(program, scaled_size), rotate=False)
+    except RuntimeError:
+        return None
+
+    def remap_inst(inst: Instance) -> Instance:
+        return (touching[inst[0]], inst[1])
+
+    remapped_pairs = {
+        kind: {(touching[src], touching[tgt], array):
+               [(remap_inst(a), remap_inst(b)) for a, b in bucket]
+               for (src, tgt, array), bucket in pairs.items()
+               if array in scaled_arrays}
+        for kind, pairs in pairs_by_kind.items()}
+    remapped_dists = {
+        (kind, touching[src], touching[tgt], array): vecs
+        for (kind, src, tgt, array), vecs in distance_sets.items()
+        if array in scaled_arrays}
+    return remapped_pairs, remapped_dists
+
+
+def _collect_pairs(program: Program, params: Mapping[str, int],
+                   rotate: bool = True):
     """One concretization pass: witness pairs + distance vectors.
 
     Dispatches on the active engine; both produce identical structures
     (same buckets, same witness order, same rotation slots).
+    ``rotate=False`` (the scaled non-uniform pass) keeps the first
+    ``_MAX_WITNESSES`` records per bucket instead of rotating — cheaper
+    on the larger instance space, same exhaustive distance sets.
     """
     if analysis_engine_name() == "vectorized":
         from .vectorized import collect_pairs
 
         return collect_pairs(program, params, _ANALYSIS_BUDGET,
-                             _budget_exceeded(program), _MAX_WITNESSES)
-    return _collect_pairs_reference(program, params)
+                             _budget_exceeded(program), _MAX_WITNESSES,
+                             rotate)
+    return _collect_pairs_reference(program, params, rotate)
 
 
-def _collect_pairs_reference(program: Program, params: Mapping[str, int]):
+def _collect_pairs_reference(program: Program, params: Mapping[str, int],
+                             rotate: bool = True):
     """The scalar per-instance walk (the executable specification)."""
     events = _collect_events(program, params)
 
@@ -251,7 +423,7 @@ def _collect_pairs_reference(program: Program, params: Mapping[str, int]):
         pair = ((src[0], src[1] + src[2]), (tgt[0], tgt[1] + tgt[2]))
         if len(bucket) < _MAX_WITNESSES:
             bucket.append(pair)
-        else:
+        elif rotate:
             # keep the class but rotate witnesses for diversity; the slot
             # must not come from hash() — str hashing is randomized per
             # process, and a hash-seed-dependent witness sample makes
@@ -493,6 +665,7 @@ class _LRUCache:
 
 _DEP_CACHE = _LRUCache(4096)
 _LEGALITY_CACHE = _LRUCache(2048)
+_NONUNIFORM_CACHE = _LRUCache(4096)
 
 
 def dependences(program: Program,

@@ -89,12 +89,18 @@ class _StmtMeta:
 
 def collect_pairs(program: Program, params: Mapping[str, int],
                   budget: int, exceeded: Callable[[int], Exception],
-                  max_witnesses: int):
+                  max_witnesses: int, rotate: bool = True):
     """One concretization pass; same return structure as the reference.
 
     Returns ``({kind: {(src_si, tgt_si, array): [witness pair, ...]}},
     {(kind, src_si, tgt_si, array): {distance vec, ...}})`` with witness
     buckets byte-identical to the scalar walk's.
+
+    ``rotate=False`` keeps the first ``max_witnesses`` records per
+    bucket instead of crc-rotating later ones in — the policy of the
+    scaled non-uniform pass, where distance sets stay exhaustive and
+    the per-record crc over a much larger instance space would dominate
+    the pass.
     """
     from ..runtime.instances import sorted_instances
 
@@ -320,7 +326,7 @@ def collect_pairs(program: Program, params: Mapping[str, int],
             # last record per slot needs materializing
             k = b - a
             chosen = np.arange(min(k, max_witnesses))
-            if k > max_witnesses:
+            if k > max_witnesses and rotate:
                 slots = (crc_table(tsi)[tgt_rows[max_witnesses:]]
                          % max_witnesses)
                 for j, slot in enumerate(slots.tolist()):

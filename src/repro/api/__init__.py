@@ -1,0 +1,41 @@
+"""The service-grade optimization API.
+
+One :class:`OptimizerSession` owns every piece of expensive shared state
+(the synthesized corpus, the retriever index, the dependence and
+compiled-kernel caches, the machine model) exactly once, and serves
+typed :class:`OptimizationRequest` → :class:`OptimizationResult`
+objects — one at a time (:meth:`OptimizerSession.optimize`) or in
+store-backed parallel batches (:meth:`OptimizerSession.optimize_many`).
+
+Components are assembled from *registries* (:mod:`repro.api.registry`):
+LLM backends, base compilers, optimizing compilers, retrieval methods
+and transformations are all named, pluggable parts.
+
+Progress streams through a structured event bus
+(:mod:`repro.api.events`): retrieval, per-candidate generation /
+compilation / testing, round transitions, cache hits.  Subscribe with
+``session.events.subscribe(print)`` or read ``result.events`` after the
+fact; ``repro optimize --json`` and ``repro serve-batch`` expose the
+same records on the command line.
+
+The old facades (``repro.pipeline.LoopRAG``, ``BaseLLMOptimizer``) and
+suite runners (``run_looprag`` / ``run_base_llm`` / ``run_compiler``)
+remain as thin deprecated shims over this API with byte-identical
+outputs; see docs/architecture.md for the migration map.
+"""
+
+from .events import EventBus, EventLog, SessionEvent
+from .registry import (BASE_COMPILER_REGISTRY, LLM_BACKENDS,
+                       OPTIMIZER_REGISTRY, RETRIEVAL_METHODS, TRANSFORMS,
+                       DuplicateComponentError, Registry,
+                       UnknownComponentError)
+from .session import (OptimizationRequest, OptimizationResult,
+                      OptimizerSession)
+
+__all__ = [
+    "EventBus", "EventLog", "SessionEvent",
+    "BASE_COMPILER_REGISTRY", "LLM_BACKENDS", "OPTIMIZER_REGISTRY",
+    "RETRIEVAL_METHODS", "TRANSFORMS",
+    "DuplicateComponentError", "Registry", "UnknownComponentError",
+    "OptimizationRequest", "OptimizationResult", "OptimizerSession",
+]

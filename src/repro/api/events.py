@@ -1,0 +1,142 @@
+"""Structured session events.
+
+Every stage of an optimization emits a :class:`SessionEvent`: retrieval
+done, candidate generated / compiled / tested, round transitions, cache
+hits, final selection.  Events serve two audiences:
+
+* **subscribers** on a session's :class:`EventBus` see events live
+  (with wall-clock timestamps) — progress bars, log shippers, metrics;
+* **results** carry the per-request :class:`EventLog` — a deterministic
+  record (no wall times, request-local sequence numbers) that is safe
+  to persist in the result store and renders byte-stable in
+  ``repro optimize --json`` / ``repro serve-batch``.
+
+Determinism contract: ``data`` holds only JSON-able, run-deterministic
+values.  Wall-clock time lives in the separate ``wall`` field, which is
+excluded from :meth:`SessionEvent.to_dict` (and therefore from every
+serialized artifact); emitting events never consumes pipeline RNG.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Tuple)
+
+#: event kinds emitted by the session/pipeline (a vocabulary, not a
+#: closed set — subscribers must tolerate unknown kinds)
+EVENT_REQUEST = "request"
+EVENT_CACHE_HIT = "cache_hit"
+EVENT_RETRIEVAL = "retrieval_done"
+EVENT_ROUND = "round_start"
+EVENT_GENERATED = "candidate_generated"
+EVENT_COMPILED = "candidate_compiled"
+EVENT_TESTED = "candidate_tested"
+EVENT_STAGE = "stage_done"
+EVENT_SELECTED = "selected"
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One structured progress record.
+
+    ``seq`` is request-local (0, 1, 2, ... within one optimization) so
+    logs compare equal across identical runs; ``wall`` is the emission
+    timestamp for live subscribers and is deliberately excluded from
+    equality and serialization.
+    """
+
+    seq: int
+    kind: str
+    data: Tuple[Tuple[str, Any], ...] = ()
+    wall: float = field(default=0.0, compare=False)
+
+    @staticmethod
+    def make(seq: int, kind: str, data: Mapping[str, Any],
+             wall: float = 0.0) -> "SessionEvent":
+        return SessionEvent(seq=seq, kind=kind,
+                            data=tuple(sorted(data.items())), wall=wall)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return dict(self.data).get(key, default)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic JSON form (no wall-clock time)."""
+        return {"seq": self.seq, "kind": self.kind,
+                "data": {k: v for k, v in self.data}}
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "SessionEvent":
+        return SessionEvent.make(int(payload["seq"]), str(payload["kind"]),
+                                 dict(payload["data"]))
+
+    def __str__(self) -> str:
+        rendered = " ".join(f"{k}={v}" for k, v in self.data)
+        return f"[{self.seq:03d}] {self.kind} {rendered}".rstrip()
+
+
+class EventLog:
+    """Collects one request's events with a local sequence counter."""
+
+    def __init__(self, forward: Optional[Callable[[SessionEvent], None]]
+                 = None) -> None:
+        self._events: List[SessionEvent] = []
+        self._forward = forward
+
+    def emit(self, kind: str, **data: Any) -> SessionEvent:
+        event = SessionEvent.make(len(self._events), kind, data,
+                                  wall=time.time())
+        self._events.append(event)
+        if self._forward is not None:
+            self._forward(event)
+        return event
+
+    def events(self) -> Tuple[SessionEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class EventBus:
+    """Fan-out of session events to subscribers.
+
+    Subscribers are called synchronously, in subscription order, under
+    no lock of their own — a slow subscriber slows the session, a
+    raising subscriber is dropped after the first error (a monitoring
+    hook must never kill an optimization).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subscribers: "Dict[int, Callable[[SessionEvent], None]]" = {}
+        self._next_token = 0
+
+    def subscribe(self, callback: Callable[[SessionEvent], None]
+                  ) -> Callable[[], None]:
+        """Register ``callback``; returns an unsubscribe closure."""
+        with self._lock:
+            token = self._next_token
+            self._next_token += 1
+            self._subscribers[token] = callback
+
+        def _unsubscribe() -> None:
+            with self._lock:
+                self._subscribers.pop(token, None)
+        return _unsubscribe
+
+    def publish(self, event: SessionEvent) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers.items())
+        for token, callback in subscribers:
+            try:
+                callback(event)
+            except Exception:
+                with self._lock:
+                    self._subscribers.pop(token, None)
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)

@@ -3,6 +3,10 @@
 Commands
 --------
 optimize FILE     run LOOPRAG on a SCoP source file and print the result
+                  (--json for a byte-stable structured document,
+                  --events to stream session events to stderr)
+serve-batch SPEC  serve a JSON batch of requests through one
+                  OptimizerSession (parallel, store-backed)
 compilers FILE    run every baseline compiler on a SCoP source file
 experiment ID     regenerate one table/figure (tab1..tab7, fig1..fig14)
 bench             run systems over suites (parallel, store-backed)
@@ -49,31 +53,40 @@ def _default_params(program, value: int) -> Dict[str, int]:
 
 
 def cmd_optimize(args: argparse.Namespace) -> int:
-    from .codegen import scop_body_to_c
-    from .llm import PERSONAS
-    from .pipeline import LoopRAG
-    from .synthesis import cached_dataset
+    import json
+
+    from .api import OptimizationRequest, OptimizerSession
 
     program = _load_program(args.file)
     perf = _parse_bindings(args.perf) or _default_params(program, 1500)
     test = _parse_bindings(args.test) or _default_params(program, 8)
-    persona = PERSONAS[args.persona]
-    looprag = LoopRAG(cached_dataset(args.dataset_size, args.seed),
-                      persona, seed=args.seed,
-                      retrieval_method=args.retrieval)
-    outcome = looprag.optimize(program, perf, test)
-    print(f"# pass: {outcome.passed}   speedup: {outcome.speedup:.2f}x")
-    if outcome.best_recipe is not None:
-        print(f"# recipe: {outcome.best_recipe.describe()}")
-    if outcome.best_program is not None:
-        print(scop_body_to_c(outcome.best_program))
-    return 0 if outcome.passed else 1
+    session = OptimizerSession(dataset_size=args.dataset_size,
+                               seed=args.seed,
+                               retrieval_method=args.retrieval)
+    if args.events:
+        session.events.subscribe(
+            lambda event: print(event, file=sys.stderr))
+    request = OptimizationRequest.make(program, perf, test,
+                                       system=args.system,
+                                       persona=args.persona)
+    # uncached on purpose: `repro optimize` is the one-shot spelling and
+    # its --json output must be byte-stable whatever the store holds
+    result = session.optimize(request, use_store=False)
+    if args.json:
+        print(json.dumps(result.to_json_dict(), indent=2,
+                         sort_keys=True))
+        return 0 if result.passed else 1
+    print(f"# pass: {result.passed}   speedup: {result.speedup:.2f}x")
+    if result.recipe is not None:
+        print(f"# recipe: {result.recipe}")
+    if result.best_code is not None:
+        print(result.best_code)
+    return 0 if result.passed else 1
 
 
 def cmd_compilers(args: argparse.Namespace) -> int:
     from .compilers import (BASE_COMPILERS, Graphite, IcxOptimizer,
-                            Perspective, Polly, Pluto)
-    from .evaluation.harness import OPTIMIZER_BASE
+                            OPTIMIZER_BASE, Perspective, Polly, Pluto)
     from .machine import DEFAULT_MACHINE, estimate_cached
 
     program = _load_program(args.file)
@@ -165,6 +178,101 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"# cache: {stats['hits']} hits, {stats['misses']} misses, "
           f"{stats['writes']} writes ({where})", file=sys.stderr)
     return 0
+
+
+def _batch_requests(spec: dict, base_dir: str):
+    """Materialize ``OptimizationRequest`` objects from a batch spec."""
+    import os
+
+    from .api import OptimizationRequest
+    from .ir import parse_scop
+
+    requests = []
+    for i, entry in enumerate(spec.get("requests", [])):
+        if "source" in entry:
+            program = parse_scop(entry["source"])
+        elif "file" in entry:
+            path = entry["file"]
+            if not os.path.isabs(path):
+                path = os.path.join(base_dir, path)
+            with open(path) as handle:
+                program = parse_scop(handle.read())
+        else:
+            raise SystemExit(
+                f"request #{i}: needs 'source' or 'file'")
+        perf = {k: int(v) for k, v in entry.get("perf", {}).items()} \
+            or _default_params(program, 1500)
+        test = {k: int(v) for k, v in entry.get("test", {}).items()} \
+            or _default_params(program, 8)
+        requests.append(OptimizationRequest.make(
+            program, perf, test,
+            system=entry.get("system", "looprag"),
+            persona=entry.get("persona", "deepseek"),
+            optimizer=entry.get("optimizer"),
+            time_limit=entry.get("time_limit"),
+            tag=entry.get("tag")))
+    return requests
+
+
+def cmd_serve_batch(args: argparse.Namespace) -> int:
+    """Serve a JSON batch of optimization requests through one session.
+
+    The batch file holds an optional ``session`` configuration and a
+    ``requests`` list (each: ``source`` or ``file``, plus ``system`` /
+    ``persona`` / ``optimizer`` / ``perf`` / ``test`` / ``tag``).
+    Requests fan out across ``--jobs`` workers with persistent-store
+    hits resolved first; the report is byte-stable across runs.
+    """
+    import json
+    import os
+
+    from .api import OptimizerSession
+
+    if args.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
+    if args.cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+
+    if args.batch == "-":
+        spec = json.load(sys.stdin)
+        base_dir = os.getcwd()
+    else:
+        with open(args.batch) as handle:
+            spec = json.load(handle)
+        base_dir = os.path.dirname(os.path.abspath(args.batch))
+
+    session_spec = dict(spec.get("session", {}))
+    session = OptimizerSession(**session_spec)
+    if args.events:
+        session.events.subscribe(
+            lambda event: print(event, file=sys.stderr))
+    requests = _batch_requests(spec, base_dir)
+    results = session.optimize_many(requests, jobs=args.jobs)
+
+    passed = sum(1 for r in results if r.passed)
+    report = {
+        "session": session_spec,
+        "count": len(results),
+        "passed": passed,
+        "results": [r.to_json_dict(include_events=args.include_events)
+                    for r in results],
+    }
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+    if args.format == "json":
+        print(text)
+    else:
+        for request, result in zip(requests, results):
+            tag = f" [{request.tag}]" if request.tag else ""
+            recipe = result.recipe or result.failure or "<none>"
+            print(f"{result.request.program.name:20s}{tag} "
+                  f"{result.system_label:24s} "
+                  f"{str(result.passed):5s} {result.speedup:8.2f}x  "
+                  f"{recipe[:70]}")
+        print(f"# {passed}/{len(results)} passed")
+    return 0 if passed == len(results) else 1
 
 
 def _perf_candidates(program):
@@ -476,6 +584,9 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("file")
     opt.add_argument("--persona", default="deepseek",
                      choices=("deepseek", "gpt4", "deepseek-v2.5"))
+    opt.add_argument("--system", default="looprag",
+                     choices=("looprag", "basellm"),
+                     help="full LOOPRAG or the bare-LLM baseline")
     opt.add_argument("--retrieval", default="loop-aware",
                      choices=("loop-aware", "bm25", "weighted"))
     opt.add_argument("--perf", nargs="*", default=[],
@@ -484,6 +595,13 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="NAME=VALUE")
     opt.add_argument("--dataset-size", type=int, default=300)
     opt.add_argument("--seed", type=int, default=0)
+    opt.add_argument("--json", action="store_true",
+                     help="print a structured JSON document (request "
+                          "echo, per-step events, verdict); byte-stable "
+                          "across runs")
+    opt.add_argument("--events", action="store_true",
+                     help="stream session events to stderr as they "
+                          "happen")
     opt.set_defaults(func=cmd_optimize)
 
     comp = sub.add_parser("compilers",
@@ -526,6 +644,32 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("table", "json"),
                      help="stdout format (default: table)")
     ben.set_defaults(func=cmd_bench, suite=None, system=None)
+
+    ser = sub.add_parser(
+        "serve-batch",
+        help="serve a JSON batch of requests through one session")
+    ser.add_argument("batch",
+                     help="batch spec file ('-' for stdin): "
+                          '{"session": {...}, "requests": [...]}')
+    ser.add_argument("-j", "--jobs", type=int, default=None,
+                     help="parallel workers (default: REPRO_JOBS or "
+                          "1 = serial; results identical either way)")
+    ser.add_argument("--no-cache", action="store_true",
+                     help="bypass the persistent result store")
+    ser.add_argument("--cache-dir", metavar="DIR",
+                     help="result store location (default .repro_cache/)")
+    ser.add_argument("--json", metavar="FILE",
+                     help="also write the JSON report to FILE")
+    ser.add_argument("--format", default="table",
+                     choices=("table", "json"),
+                     help="stdout format (default: table)")
+    ser.add_argument("--include-events", action="store_true",
+                     help="include per-request event logs in the JSON "
+                          "report")
+    ser.add_argument("--events", action="store_true",
+                     help="stream session events to stderr as they "
+                          "happen")
+    ser.set_defaults(func=cmd_serve_batch)
 
     per = sub.add_parser(
         "perf", help="engine micro-benchmarks (vectorized vs reference)")

@@ -8,8 +8,12 @@ from .perspective import Perspective
 from .polly import Polly
 from .pluto import Pluto
 
+#: which base compiler each optimizing baseline rides on (§6.1)
+OPTIMIZER_BASE = {"graphite": "gcc", "polly": "clang",
+                  "perspective": "clang", "icx": "icx", "pluto": "gcc"}
+
 __all__ = [
     "BASE_COMPILERS", "CLANG", "GCC", "ICX", "BaseCompiler", "Optimizer",
-    "OptimizerResult", "vector_violations",
+    "OPTIMIZER_BASE", "OptimizerResult", "vector_violations",
     "Graphite", "IcxOptimizer", "Perspective", "Polly", "Pluto",
 ]

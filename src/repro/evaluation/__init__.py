@@ -2,8 +2,8 @@
 
 from .experiments import ALL_EXPERIMENTS, ExperimentResult
 from .harness import (BenchResult, RunPlan, base_llm_plan, compiler_plan,
-                      evaluate_suite, looprag_plan, run_base_llm,
-                      run_compiler, run_looprag, run_plans,
+                      evaluate_suite, looprag_plan, results_for,
+                      run_base_llm, run_compiler, run_looprag, run_plans,
                       shared_retriever, speedups_by_benchmark, suites)
 from .metrics import (OUTLIER_CAP, average_speedup, pass_at_k,
                       percent_faster, speedup_ratio)
@@ -15,8 +15,8 @@ from .store import ResultStore, active_store, cache_stats
 __all__ = [
     "ALL_EXPERIMENTS", "ExperimentResult",
     "BenchResult", "RunPlan", "base_llm_plan", "compiler_plan",
-    "evaluate_suite", "looprag_plan", "run_base_llm", "run_compiler",
-    "run_looprag", "run_plans", "shared_retriever",
+    "evaluate_suite", "looprag_plan", "results_for", "run_base_llm",
+    "run_compiler", "run_looprag", "run_plans", "shared_retriever",
     "speedups_by_benchmark", "suites",
     "OUTLIER_CAP", "average_speedup", "pass_at_k", "percent_faster",
     "speedup_ratio",

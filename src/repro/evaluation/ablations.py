@@ -9,16 +9,15 @@ from __future__ import annotations
 
 from typing import List
 
+from ..api.session import OptimizationRequest, OptimizerSession
 from ..compilers.base import BASE_COMPILERS
 from ..compilers.pluto import Pluto
 from ..llm.personas import DEEPSEEK_V25, DEEPSEEK_V3, GPT_4O
 from ..machine.analytical import estimate_cached
 from ..machine.model import DEFAULT_MACHINE
-from ..pipeline.looprag import LoopRAG
-from ..synthesis.dataset import cached_dataset
-from .experiments import ExperimentResult
-from .harness import (evaluate_suite, looprag_plan, run_looprag,
-                      run_plans, shared_retriever, suites)
+from .experiments import ExperimentResult, looprag_results
+from .harness import (evaluate_suite, looprag_plan, run_plans,
+                      shared_retriever, suites)
 from .metrics import average_speedup, pass_at_k
 
 
@@ -57,7 +56,7 @@ def ablation_corpus_size(sizes=(30, 100, 300)) -> ExperimentResult:
                for size in sizes])
     rows: List = []
     for size in sizes:
-        results = run_looprag("polybench", DEEPSEEK_V3,
+        results = looprag_results("polybench", DEEPSEEK_V3,
                               dataset_size=size)
         rows.append((size, pass_at_k([r.passed for r in results]),
                      average_speedup([r.speedup for r in results])))
@@ -75,11 +74,11 @@ def ablation_candidates(ks=(1, 3, 7)) -> ExperimentResult:
     rows: List = []
     retriever = shared_retriever()
     for k in ks:
-        system = LoopRAG(retriever.dataset, DEEPSEEK_V3,
-                         retriever=retriever, seed=0, k=k)
+        session = OptimizerSession(retriever=retriever, seed=0, k=k)
         results = evaluate_suite(
-            lambda bench: system.optimize(bench.program, bench.perf,
-                                          bench.test),
+            lambda bench: session.optimize(OptimizationRequest.make(
+                bench.program, bench.perf, bench.test,
+                persona=DEEPSEEK_V3)),
             "polybench", f"looprag-deepseek-k{k}")
         rows.append((k, pass_at_k([r.passed for r in results]),
                      average_speedup([r.speedup for r in results])))
@@ -98,7 +97,7 @@ def ablation_personas() -> ExperimentResult:
                for persona in (DEEPSEEK_V3, GPT_4O, DEEPSEEK_V25)])
     rows: List = []
     for persona in (DEEPSEEK_V3, GPT_4O, DEEPSEEK_V25):
-        results = run_looprag("polybench", persona, "gcc")
+        results = looprag_results("polybench", persona, "gcc")
         rows.append((persona.model_id,
                      pass_at_k([r.passed for r in results]),
                      average_speedup([r.speedup for r in results])))

@@ -22,13 +22,28 @@ from ..suites import FIG14_KERNELS
 from ..synthesis.dataset import cached_dataset, transformation_kinds
 from ..transforms.recipe import LOOP_KINDS
 from .harness import (DEFAULT_DATASET_SIZE, DEFAULT_SEED, base_llm_plan,
-                      compiler_plan, looprag_plan, run_base_llm,
-                      run_compiler, run_looprag, run_plans,
-                      speedups_by_benchmark)
+                      compiler_plan, looprag_plan, results_for,
+                      run_plans, speedups_by_benchmark)
 from .metrics import average_speedup, pass_at_k, percent_faster
 
 SUITE_NAMES = ("polybench", "tsvc", "lore")
 PERSONAS = (DEEPSEEK_V3, GPT_4O)
+
+
+# non-deprecated plan spellings of the old run_* helpers: experiments
+# always submit plan batches first, then read individual plans back.
+# Defaults live in the plan factories alone — nothing re-specified here.
+def looprag_results(suite, persona, base="gcc", **plan_kwargs):
+    return results_for(looprag_plan(suite, persona, base, **plan_kwargs))
+
+
+def base_llm_results(suite, persona, base="gcc", **plan_kwargs):
+    return results_for(base_llm_plan(suite, persona, base, **plan_kwargs))
+
+
+def compiler_results(suite, optimizer_name, **plan_kwargs):
+    return results_for(compiler_plan(suite, optimizer_name,
+                                     **plan_kwargs))
 
 
 def _looprag_gcc_plans(suites=SUITE_NAMES, generators=("looprag",),
@@ -73,8 +88,8 @@ def fig1_motivation() -> ExperimentResult:
                  for suite in ("polybench", "tsvc")])
     rows = []
     for suite in ("polybench", "tsvc"):
-        gpt = run_base_llm(suite, GPT_4O)
-        pluto = run_compiler(suite, "pluto")
+        gpt = base_llm_results(suite, GPT_4O)
+        pluto = compiler_results(suite, "pluto")
         pluto_speed = speedups_by_benchmark(pluto)
         up = down = neq = 0
         for r in gpt:
@@ -127,7 +142,7 @@ def tab1_compilers() -> ExperimentResult:
     for label, persona, base in _LOOPRAG_CONFIGS:
         cells: List = [label]
         for suite in SUITE_NAMES:
-            pk, sp = _row_stats(run_looprag(suite, persona, base))
+            pk, sp = _row_stats(looprag_results(suite, persona, base))
             cells += [pk, sp]
         rows.append(tuple(cells))
     for compiler in ("graphite", "polly", "perspective", "icx"):
@@ -136,7 +151,7 @@ def tab1_compilers() -> ExperimentResult:
             if suite not in _COMPILER_SUITES[compiler]:
                 cells += [None, None]
                 continue
-            pk, sp = _row_stats(run_compiler(suite, compiler))
+            pk, sp = _row_stats(compiler_results(suite, compiler))
             cells += [pk, sp]
         rows.append(tuple(cells))
     return ExperimentResult(
@@ -169,8 +184,8 @@ def fig6_faster_vs_compilers() -> ExperimentResult:
                 cells.append(None)
                 continue
             ours = speedups_by_benchmark(
-                run_looprag(suite, DEEPSEEK_V3, base))
-            theirs = speedups_by_benchmark(run_compiler(suite, compiler))
+                looprag_results(suite, DEEPSEEK_V3, base))
+            theirs = speedups_by_benchmark(compiler_results(suite, compiler))
             cells.append(percent_faster(ours, theirs))
         rows.append(tuple(cells))
     return ExperimentResult(
@@ -199,12 +214,12 @@ def tab2_llms() -> ExperimentResult:
     for persona in PERSONAS:
         cells: List = ["LOOPRAG", persona.model_id]
         for suite in SUITE_NAMES:
-            cells += list(_row_stats(run_looprag(suite, persona, "gcc")))
+            cells += list(_row_stats(looprag_results(suite, persona, "gcc")))
         rows.append(tuple(cells))
     for persona in PERSONAS:
         cells = ["BaseLLM", persona.model_id]
         for suite in SUITE_NAMES:
-            cells += list(_row_stats(run_base_llm(suite, persona, "gcc")))
+            cells += list(_row_stats(base_llm_results(suite, persona, "gcc")))
         rows.append(tuple(cells))
     rows.extend(_PCAOT_ROWS)
     rows.append(_LLMVEC_ROW)
@@ -228,9 +243,9 @@ def fig7_faster_vs_llms() -> ExperimentResult:
         cells: List = [persona.model_id]
         for suite in SUITE_NAMES:
             ours = speedups_by_benchmark(
-                run_looprag(suite, persona, "gcc"))
+                looprag_results(suite, persona, "gcc"))
             base = speedups_by_benchmark(
-                run_base_llm(suite, persona, "gcc"))
+                base_llm_results(suite, persona, "gcc"))
             cells.append(percent_faster(ours, base))
         rows.append(tuple(cells))
     return ExperimentResult(
@@ -252,11 +267,11 @@ def tab3_pluto() -> ExperimentResult:
     for persona in PERSONAS:
         cells: List = ["LOOPRAG", persona.model_id]
         for suite in SUITE_NAMES:
-            cells += list(_row_stats(run_looprag(suite, persona, "gcc")))
+            cells += list(_row_stats(looprag_results(suite, persona, "gcc")))
         rows.append(tuple(cells))
     cells = ["PLuTo", "-"]
     for suite in SUITE_NAMES:
-        cells += list(_row_stats(run_compiler(suite, "pluto")))
+        cells += list(_row_stats(compiler_results(suite, "pluto")))
     rows.append(tuple(cells))
     return ExperimentResult(
         experiment="tab3",
@@ -277,8 +292,8 @@ def fig8_faster_vs_pluto() -> ExperimentResult:
         cells: List = [persona.model_id]
         for suite in SUITE_NAMES:
             ours = speedups_by_benchmark(
-                run_looprag(suite, persona, "gcc"))
-            pluto = speedups_by_benchmark(run_compiler(suite, "pluto"))
+                looprag_results(suite, persona, "gcc"))
+            pluto = speedups_by_benchmark(compiler_results(suite, "pluto"))
             cells.append(percent_faster(ours, pluto))
         rows.append(tuple(cells))
     return ExperimentResult(
@@ -347,7 +362,7 @@ def tab5_colagen() -> ExperimentResult:
             cells: List = [generator, persona.model_id]
             for suite in SUITE_NAMES:
                 cells += list(_row_stats(
-                    run_looprag(suite, persona, "gcc",
+                    looprag_results(suite, persona, "gcc",
                                 generator=generator)))
             rows.append(tuple(cells))
     return ExperimentResult(
@@ -367,9 +382,9 @@ def fig10_faster_vs_colagen() -> ExperimentResult:
         cells: List = [persona.model_id]
         for suite in SUITE_NAMES:
             ours = speedups_by_benchmark(
-                run_looprag(suite, persona, "gcc"))
+                looprag_results(suite, persona, "gcc"))
             cola = speedups_by_benchmark(
-                run_looprag(suite, persona, "gcc", generator="colagen"))
+                looprag_results(suite, persona, "gcc", generator="colagen"))
             cells.append(percent_faster(ours, cola))
         rows.append(tuple(cells))
     return ExperimentResult(
@@ -395,7 +410,7 @@ def tab6_retrieval() -> ExperimentResult:
             cells: List = [label, persona.model_id]
             for suite in SUITE_NAMES:
                 cells += list(_row_stats(
-                    run_looprag(suite, persona, "gcc",
+                    looprag_results(suite, persona, "gcc",
                                 retrieval_method=method)))
             rows.append(tuple(cells))
     return ExperimentResult(
@@ -417,9 +432,9 @@ def fig11_faster_retrieval() -> ExperimentResult:
             cells: List = [f"loop-aware vs {label}", persona.model_id]
             for suite in SUITE_NAMES:
                 ours = speedups_by_benchmark(
-                    run_looprag(suite, persona, "gcc"))
+                    looprag_results(suite, persona, "gcc"))
                 other = speedups_by_benchmark(
-                    run_looprag(suite, persona, "gcc",
+                    looprag_results(suite, persona, "gcc",
                                 retrieval_method=method))
                 cells.append(percent_faster(ours, other))
             rows.append(tuple(cells))
@@ -442,7 +457,7 @@ def tab7_feedback() -> ExperimentResult:
         second = ["Second round of compilation", persona.model_id]
         testrank = ["Testing results + rankings", persona.model_id]
         for suite in SUITE_NAMES:
-            results = run_looprag(suite, persona, "gcc")
+            results = looprag_results(suite, persona, "gcc")
             s1 = pass_at_k([r.stage("step1") for r in results])
             s2 = pass_at_k([r.stage("step2") for r in results])
             s3 = pass_at_k([r.stage("step3") for r in results])
@@ -469,7 +484,7 @@ def fig12_feedback_faster() -> ExperimentResult:
     for persona in PERSONAS:
         cells: List = [persona.model_id]
         for suite in SUITE_NAMES:
-            results = run_looprag(suite, persona, "gcc")
+            results = looprag_results(suite, persona, "gcc")
             improved = [r.speedup_at("step4") > r.speedup_at("step2")
                         for r in results]
             cells.append(100.0 * sum(improved) / max(1, len(improved)))
@@ -490,13 +505,13 @@ def fig14_per_benchmark() -> ExperimentResult:
               + _base_llm_gcc_plans(suites=("polybench", "tsvc")))
     rows = []
     poly_lr = {p.name: speedups_by_benchmark(
-        run_looprag("polybench", p, "gcc")) for p in PERSONAS}
+        looprag_results("polybench", p, "gcc")) for p in PERSONAS}
     poly_bl = {p.name: speedups_by_benchmark(
-        run_base_llm("polybench", p, "gcc")) for p in PERSONAS}
+        base_llm_results("polybench", p, "gcc")) for p in PERSONAS}
     tsvc_lr = {p.name: speedups_by_benchmark(
-        run_looprag("tsvc", p, "gcc")) for p in PERSONAS}
+        looprag_results("tsvc", p, "gcc")) for p in PERSONAS}
     tsvc_bl = {p.name: speedups_by_benchmark(
-        run_base_llm("tsvc", p, "gcc")) for p in PERSONAS}
+        base_llm_results("tsvc", p, "gcc")) for p in PERSONAS}
     for name in FIG14_KERNELS:
         rows.append(("polybench", name,
                      poly_lr["deepseek"].get(name),

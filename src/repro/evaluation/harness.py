@@ -12,11 +12,14 @@ levels:
 
 Execution is organized around :class:`RunPlan` — one (system, suite)
 description — and the generic driver :func:`run_plans`, which consults
-store → pool → store.  ``run_looprag`` / ``run_base_llm`` /
-``run_compiler`` are thin wrappers over it.  Cache misses fan out
-per-benchmark across a :mod:`repro.evaluation.parallel` pool; each
-pipeline run seeds its RNG from ``(seed, program fingerprint)``, so
-parallel results are bit-identical to serial ones.
+store → pool → store.  Each plan's benchmarks run through a
+:class:`repro.api.OptimizerSession` (one per plan, request-level store
+off — the plan-level store is authoritative here).  ``run_looprag`` /
+``run_base_llm`` / ``run_compiler`` are deprecated shims; use
+:func:`results_for` with a plan, or the session API directly.  Cache
+misses fan out per-benchmark across a :mod:`repro.evaluation.parallel`
+pool; each pipeline run seeds its RNG from ``(seed, program
+fingerprint)``, so parallel results are bit-identical to serial ones.
 
 Environment switches: ``REPRO_SUITE_LIMIT=<n>`` subsamples suites for
 quick iteration (benches run the full suites); ``REPRO_JOBS=<n>`` sets
@@ -28,31 +31,22 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from dataclasses import dataclass
-from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
-                    Tuple, Union)
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
-from ..compilers import (BASE_COMPILERS, Graphite, IcxOptimizer, Optimizer,
-                         Perspective, Polly, Pluto)
-from ..compilers.base import BaseCompiler
-from ..machine.analytical import estimate_cached
-from ..machine.model import DEFAULT_MACHINE, MachineModel
-from ..llm.personas import DEEPSEEK_V3, GPT_4O, PERSONAS, Persona
-from ..pipeline.generation import FeedbackPipeline, PipelineResult
-from ..pipeline.looprag import (BASELINE_TIME_LIMIT, BaseLLMOptimizer,
-                                LOOPRAG_TIME_LIMIT, LoopRAG)
+from ..api.session import (DEFAULT_DATASET_SIZE, DEFAULT_SEED,
+                           OptimizationRequest, OptimizerSession)
+from ..compilers import OPTIMIZER_BASE
+from ..llm.personas import PERSONAS, Persona
+from ..pipeline.generation import (BASELINE_TIME_LIMIT,
+                                   LOOPRAG_TIME_LIMIT)
 from ..retrieval.retriever import Retriever
 from ..suites import Suite, lore, polybench, tsvc
 from ..synthesis.dataset import cached_dataset, dataset_signature
 from .parallel import default_jobs, make_executor
 from .store import active_store, code_signature
-
-DEFAULT_DATASET_SIZE = 400
-DEFAULT_SEED = 0
-
-#: which base compiler each optimizing baseline rides on (§6.1)
-OPTIMIZER_BASE = {"graphite": "gcc", "polly": "clang",
-                  "perspective": "clang", "icx": "icx", "pluto": "gcc"}
 
 
 @dataclass(frozen=True)
@@ -243,24 +237,46 @@ def compiler_plan(suite_name: str, optimizer_name: str,
 
 
 # ----------------------------------------------------------------------
-# per-benchmark execution
+# per-benchmark execution (plans -> session requests)
 # ----------------------------------------------------------------------
-def _make_optimizer(name: str) -> Optimizer:
-    return {"graphite": Graphite, "polly": Polly,
-            "perspective": Perspective, "icx": IcxOptimizer,
-            "pluto": Pluto}[name]()
+def _plan_session(plan: RunPlan) -> OptimizerSession:
+    """The session a plan's benchmarks run through.
+
+    Plan-level caching lives in ``run_plans``'s store, so the session's
+    own request-level store is disabled — every result is computed (or
+    plan-cached) exactly once, never double-keyed.
+    """
+    if plan.kind == "looprag":
+        return OptimizerSession(
+            dataset_size=plan.dataset_size, seed=plan.seed,
+            generator=plan.generator,
+            retrieval_method=plan.retrieval_method,
+            base_compiler=plan.base,
+            retriever=shared_retriever(plan.dataset_size, plan.seed,
+                                       plan.generator,
+                                       plan.retrieval_method),
+            use_store=False)
+    if plan.kind in ("basellm", "compiler"):
+        return OptimizerSession(seed=plan.seed,
+                                base_compiler=plan.base,
+                                use_store=False)
+    raise ValueError(f"unknown plan kind {plan.kind!r}")
 
 
-def _outcome_result(plan: RunPlan, bench, outcome) -> BenchResult:
-    return BenchResult(
-        suite=plan.suite, benchmark=bench.name, system=plan.label(),
-        passed=outcome.passed, speedup=outcome.speedup,
-        stage_pass=outcome.result.stage_pass,
-        stage_speedup=outcome.result.stage_speedup)
+def _plan_request(plan: RunPlan, bench) -> OptimizationRequest:
+    if plan.kind == "compiler":
+        return OptimizationRequest.make(
+            bench.program, bench.perf, system="compiler",
+            optimizer=plan.optimizer,
+            time_limit=plan.effective_time_limit())
+    return OptimizationRequest.make(
+        bench.program, bench.perf, bench.test,
+        system=("looprag" if plan.kind == "looprag" else "basellm"),
+        persona=plan.persona, time_limit=plan.effective_time_limit())
 
 
-#: per-plan system factories are memoized so pool workers build each
-#: system once, not once per benchmark
+#: per-plan sessions are memoized so pool workers build each system
+#: once, not once per benchmark
 _RUNNER_CACHE: Dict[RunPlan, Callable] = {}
 
 
@@ -268,61 +284,17 @@ def _plan_runner(plan: RunPlan) -> Callable:
     """A ``bench -> BenchResult`` callable for one plan."""
     if plan in _RUNNER_CACHE:
         return _RUNNER_CACHE[plan]
-    if plan.kind == "looprag":
-        retriever = shared_retriever(plan.dataset_size, plan.seed,
-                                     plan.generator,
-                                     plan.retrieval_method)
-        system = LoopRAG(dataset=retriever.dataset,
-                         persona=PERSONAS[plan.persona],
-                         base_compiler=BASE_COMPILERS[plan.base],
-                         retrieval_method=plan.retrieval_method,
-                         time_limit=plan.effective_time_limit(),
-                         seed=plan.seed, retriever=retriever)
+    session = _plan_session(plan)
 
-        def run(bench):
-            outcome = system.optimize(bench.program, bench.perf,
-                                      bench.test)
-            return _outcome_result(plan, bench, outcome)
-    elif plan.kind == "basellm":
-        system = BaseLLMOptimizer(PERSONAS[plan.persona],
-                                  base_compiler=BASE_COMPILERS[plan.base],
-                                  time_limit=plan.effective_time_limit(),
-                                  seed=plan.seed)
-
-        def run(bench):
-            outcome = system.optimize(bench.program, bench.perf,
-                                      bench.test)
-            return _outcome_result(plan, bench, outcome)
-    elif plan.kind == "compiler":
-        optimizer = _make_optimizer(plan.optimizer)
-        base = BASE_COMPILERS[OPTIMIZER_BASE[plan.optimizer]]
-        machine: MachineModel = getattr(optimizer, "machine_override",
-                                        DEFAULT_MACHINE)
-
-        def run(bench):
-            baseline = estimate_cached(base.finalize(bench.program),
-                                       bench.perf,
-                                       DEFAULT_MACHINE).seconds
-            res = optimizer.optimize(bench.program, bench.perf)
-            if not res.ok:
-                return BenchResult(
-                    suite=plan.suite, benchmark=bench.name,
-                    system=plan.label(), passed=False, speedup=0.0,
-                    failure=res.failure)
-            final = base.finalize(res.program)
-            seconds = estimate_cached(final, bench.perf, machine).seconds
-            if seconds > plan.effective_time_limit():
-                return BenchResult(
-                    suite=plan.suite, benchmark=bench.name,
-                    system=plan.label(), passed=False, speedup=0.0,
-                    failure=f"execution timeout ({seconds:.0f}s > "
-                            f"{plan.effective_time_limit():.0f}s)")
-            return BenchResult(
-                suite=plan.suite, benchmark=bench.name,
-                system=plan.label(), passed=True,
-                speedup=baseline / seconds if seconds > 0 else 0.0)
-    else:
-        raise ValueError(f"unknown plan kind {plan.kind!r}")
+    def run(bench):
+        result = session.optimize(_plan_request(plan, bench),
+                                  use_store=False)
+        return BenchResult(
+            suite=plan.suite, benchmark=bench.name, system=plan.label(),
+            passed=result.passed, speedup=result.speedup,
+            stage_pass=result.stage_pass,
+            stage_speedup=result.stage_speedup,
+            failure=result.failure)
     _RUNNER_CACHE[plan] = run
     return run
 
@@ -419,54 +391,72 @@ def run_plans(plans: Sequence[RunPlan], jobs: Optional[int] = None,
     return [_RUN_CACHE[plan.key()] for plan in plans]
 
 
-def _run_system(plan: RunPlan, jobs: Optional[int] = None
+def results_for(plan: RunPlan, jobs: Optional[int] = None
                 ) -> List[BenchResult]:
+    """Results of one plan (store-backed; the non-deprecated spelling)."""
     return run_plans([plan], jobs=jobs)[0]
 
 
+_run_system = results_for  # old private alias
+
+
 # ----------------------------------------------------------------------
-# the three public run_* entry points (thin wrappers over plans)
+# the three run_* entry points (deprecated shims over the session API)
 # ----------------------------------------------------------------------
+def _deprecated_runner(old: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; build a RunPlan and use run_plans / "
+        f"OptimizerSession.run_plans (see docs/architecture.md, "
+        f"'Service API')", DeprecationWarning, stacklevel=3)
+
+
 def run_looprag(suite_name: str, persona: Persona, base: str = "gcc",
                 retrieval_method: str = "loop-aware",
                 generator: str = "looprag",
                 dataset_size: int = DEFAULT_DATASET_SIZE,
                 seed: int = DEFAULT_SEED) -> List[BenchResult]:
-    """Run the full LOOPRAG pipeline over one suite."""
-    return _run_system(looprag_plan(
+    """Run the full LOOPRAG pipeline over one suite (deprecated shim)."""
+    _deprecated_runner("run_looprag")
+    return results_for(looprag_plan(
         suite_name, persona, base, retrieval_method, generator,
         dataset_size, seed))
 
 
 def run_base_llm(suite_name: str, persona: Persona, base: str = "gcc",
                  seed: int = DEFAULT_SEED) -> List[BenchResult]:
-    """Run the bare-LLM baseline (instruction prompting) over one suite."""
-    return _run_system(base_llm_plan(suite_name, persona, base, seed))
+    """Run the bare-LLM baseline over one suite (deprecated shim)."""
+    _deprecated_runner("run_base_llm")
+    return results_for(base_llm_plan(suite_name, persona, base, seed))
 
 
 def run_compiler(suite_name: str, optimizer_name: str,
                  time_limit: float = BASELINE_TIME_LIMIT
                  ) -> List[BenchResult]:
-    """Run one optimizing compiler over one suite."""
-    return _run_system(compiler_plan(suite_name, optimizer_name,
+    """Run one optimizing compiler over one suite (deprecated shim)."""
+    _deprecated_runner("run_compiler")
+    return results_for(compiler_plan(suite_name, optimizer_name,
                                      time_limit))
 
 
 def evaluate_suite(optimize: Callable, suite_name: str,
                    system_label: str) -> List[BenchResult]:
-    """Run an ad-hoc ``bench -> OptimizeOutcome`` callable over a suite.
+    """Run an ad-hoc per-benchmark callable over a suite.
 
-    Uncached — for one-off configurations (the ablations) that don't
-    correspond to a stable :class:`RunPlan`.
+    ``optimize`` may return an :class:`OptimizationResult` (session
+    API) or a legacy ``OptimizeOutcome``.  Uncached — for one-off
+    configurations (the ablations) that don't correspond to a stable
+    :class:`RunPlan`.
     """
     results = []
     for bench in _plan_suite(suite_name):
         outcome = optimize(bench)
+        stages = (outcome if hasattr(outcome, "stage_pass")
+                  else outcome.result)
         results.append(BenchResult(
             suite=suite_name, benchmark=bench.name, system=system_label,
             passed=outcome.passed, speedup=outcome.speedup,
-            stage_pass=outcome.result.stage_pass,
-            stage_speedup=outcome.result.stage_speedup))
+            stage_pass=stages.stage_pass,
+            stage_speedup=stages.stage_speedup))
     return results
 
 

@@ -25,7 +25,8 @@ from __future__ import annotations
 import random
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
 
 from ..compilers.base import BaseCompiler, GCC
 from ..ir.program import Program
@@ -49,6 +50,12 @@ ISSUE_IC = "IC"
 
 DEFAULT_K = 7
 DEFAULT_TIME_LIMIT = 120.0
+
+#: the paper's runtime limits: 120 s for LOOPRAG's candidates, 600 s for
+#: baseline systems (§6.1).  Defined here (not in the facade module) so
+#: the service API can import them without pulling in the shims.
+LOOPRAG_TIME_LIMIT = 120.0
+BASELINE_TIME_LIMIT = 600.0
 
 STAGES = ("step1", "step2", "step3", "step4_prefix", "step4")
 
@@ -98,6 +105,17 @@ class _ActiveLimit(threading.local):
 _ACTIVE_LIMIT = _ActiveLimit()
 
 
+def _no_emit(kind: str, **data) -> None:
+    """Default event sink: drop everything.
+
+    ``FeedbackPipeline.run`` reports progress through an ``emit(kind,
+    **data)`` callable (see :mod:`repro.api.events` for the vocabulary);
+    the kinds are plain strings here so the pipeline stays importable
+    without the service API package.  Emission never consumes pipeline
+    RNG — results are bit-identical with or without a subscriber.
+    """
+
+
 @dataclass(frozen=True)
 class PipelineResult:
     """Everything the evaluation layer needs from one run."""
@@ -132,7 +150,8 @@ class FeedbackPipeline:
                  k: int = DEFAULT_K,
                  time_limit: float = DEFAULT_TIME_LIMIT,
                  use_feedback: bool = True,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 demo_strategy: Optional[Callable] = None) -> None:
         self.retriever = retriever
         self.llm_factory = llm_factory
         self.base = base_compiler
@@ -142,10 +161,19 @@ class FeedbackPipeline:
         self.time_limit = time_limit
         self.use_feedback = use_feedback
         self.seed = seed
+        #: pluggable demonstration ranking: ``(retriever, target, rng) ->
+        #: [RetrievedDemo]``.  ``None`` falls back to the retriever's
+        #: built-in ``demonstrations`` under ``retrieval_method`` — the
+        #: registry entries for the built-in methods do exactly that, so
+        #: either spelling produces bit-identical demos.
+        self.demo_strategy = demo_strategy
 
     # ------------------------------------------------------------------
     def run(self, target: Program, perf_params: Mapping[str, int],
-            test_params: Mapping[str, int]) -> PipelineResult:
+            test_params: Mapping[str, int],
+            emit: Optional[Callable] = None) -> PipelineResult:
+        if emit is None:
+            emit = _no_emit
         _ACTIVE_LIMIT.value = self.time_limit
         llm: SimulatedLLM = self.llm_factory()
         rng = random.Random(f"pipeline/{self.seed}/{target.fingerprint()}")
@@ -156,8 +184,14 @@ class FeedbackPipeline:
 
         demos: Tuple[RetrievedDemo, ...] = ()
         if self.retriever is not None:
-            demos = tuple(self.retriever.demonstrations(
-                target, rng, self.retrieval_method))
+            if self.demo_strategy is not None:
+                demos = tuple(self.demo_strategy(self.retriever, target,
+                                                 rng))
+            else:
+                demos = tuple(self.retriever.demonstrations(
+                    target, rng, self.retrieval_method))
+            emit("retrieval_done", method=self.retrieval_method,
+                 demos=[d.entry.name for d in demos])
             prompt = demo_prompt(target, target_text, demos)
         else:
             prompt = base_prompt(target, target_text)
@@ -171,15 +205,18 @@ class FeedbackPipeline:
             best = min((c.seconds for c in passing), default=None)
             stage_speed[stage] = (baseline / best
                                   if best and best > 0 else 0.0)
+            emit("stage_done", stage=stage, passed=stage_pass[stage],
+                 speedup=stage_speed[stage])
 
         # --- step 1: generate + compile --------------------------------
+        emit("round_start", stage="step1")
         slots: List[Candidate] = []
         for k in range(self.k):
-            cand = self._generate(llm, prompt, k, "r1")
+            cand = self._generate(llm, prompt, k, "r1", emit)
             slots.append(cand)
             all_candidates.append(cand)
         self._evaluate(checker, perf_params,
-                       [c for c in slots if c.compiled])
+                       [c for c in slots if c.compiled], emit)
         stage_pass["step1"] = any(c.passed for c in slots)
         snapshot("step1")
 
@@ -189,13 +226,14 @@ class FeedbackPipeline:
             for s in STAGES[1:]:
                 stage_speed[s] = stage_speed["step1"]
             return self._finish(target, baseline, all_candidates,
-                                stage_pass, stage_speed, demos)
+                                stage_pass, stage_speed, demos, emit)
 
         # --- step 2: compile feedback round 1 + test + rank ------------
+        emit("round_start", stage="step2")
         slots = self._compile_repair(llm, prompt, slots, "r1-fix",
-                                     all_candidates)
+                                     all_candidates, emit)
         self._evaluate(checker, perf_params,
-                       [c for c in slots if c.compiled])
+                       [c for c in slots if c.compiled], emit)
         for cand in slots:
             llm.note_result(cand.slot, cand.passed)
         stage_pass["step2"] = (stage_pass["step1"]
@@ -203,6 +241,7 @@ class FeedbackPipeline:
         snapshot("step2")
 
         # --- step 3: testing + ranking feedback, regenerate -------------
+        emit("round_start", stage="step3")
         attempts = tuple(
             AttemptRecord(index=c.slot, code_text=c.response.text,
                           program=c.response.program
@@ -212,11 +251,11 @@ class FeedbackPipeline:
         fb_prompt = test_rank_feedback_prompt(prompt, attempts)
         new_slots: List[Candidate] = []
         for k in range(self.k):
-            cand = self._generate(llm, fb_prompt, k, "r2")
+            cand = self._generate(llm, fb_prompt, k, "r2", emit)
             new_slots.append(cand)
             all_candidates.append(cand)
         self._evaluate(checker, perf_params,
-                       [c for c in new_slots if c.compiled])
+                       [c for c in new_slots if c.compiled], emit)
         stage_pass["step3"] = (stage_pass["step2"]
                                or any(c.passed for c in new_slots))
         stage_pass["step4_prefix"] = stage_pass["step3"]
@@ -224,29 +263,35 @@ class FeedbackPipeline:
         stage_speed["step4_prefix"] = stage_speed["step3"]
 
         # --- step 4: compile feedback round 2 + final selection ---------
+        emit("round_start", stage="step4")
         new_slots = self._compile_repair(llm, fb_prompt, new_slots,
-                                         "r2-fix", all_candidates)
+                                         "r2-fix", all_candidates, emit)
         self._evaluate(checker, perf_params,
-                       [c for c in new_slots if c.compiled])
+                       [c for c in new_slots if c.compiled], emit)
         stage_pass["step4"] = (stage_pass["step3"]
                                or any(c.passed for c in new_slots))
         snapshot("step4")
         return self._finish(target, baseline, all_candidates, stage_pass,
-                            stage_speed, demos)
+                            stage_speed, demos, emit)
 
     # ------------------------------------------------------------------
     def _generate(self, llm: SimulatedLLM, prompt: Prompt, slot: int,
-                  round_tag: str) -> Candidate:
+                  round_tag: str, emit: Callable = _no_emit) -> Candidate:
         response = llm.generate(prompt, slot, round_tag)
         errors = check_program(response.program)
+        emit("candidate_generated", slot=slot, round=round_tag,
+             recipe=response.applied.describe(),
+             slipped=response.slipped)
+        emit("candidate_compiled", slot=slot, round=round_tag,
+             ok=not errors, errors="; ".join(errors))
         return Candidate(slot=slot, round_tag=round_tag,
                          response=response,
                          compile_errors=errors)
 
     def _compile_repair(self, llm: SimulatedLLM, prompt: Prompt,
                         slots: List[Candidate], round_tag: str,
-                        all_candidates: List[Candidate]
-                        ) -> List[Candidate]:
+                        all_candidates: List[Candidate],
+                        emit: Callable = _no_emit) -> List[Candidate]:
         repaired: List[Candidate] = []
         for cand in slots:
             if cand.compiled:
@@ -255,13 +300,15 @@ class FeedbackPipeline:
             feedback = compile_feedback_prompt(
                 prompt, cand.response.text, None,
                 "; ".join(cand.compile_errors))
-            fixed = self._generate(llm, feedback, cand.slot, round_tag)
+            fixed = self._generate(llm, feedback, cand.slot, round_tag,
+                                   emit)
             all_candidates.append(fixed)
             repaired.append(fixed if fixed.compiled else cand)
         return repaired
 
     def _evaluate(self, checker, perf_params: Mapping[str, int],
-                  candidates: Sequence[Candidate]) -> None:
+                  candidates: Sequence[Candidate],
+                  emit: Callable = _no_emit) -> None:
         for cand in candidates:
             if cand.report is not None:
                 continue
@@ -270,17 +317,24 @@ class FeedbackPipeline:
                 finalized = self.base.finalize(cand.response.program)
                 cand.seconds = estimate_cached(
                     finalized, perf_params, self.machine).seconds
+            emit("candidate_tested", slot=cand.slot,
+                 round=cand.round_tag, verdict=cand.report.verdict,
+                 seconds=cand.seconds)
 
     def _finish(self, target: Program, baseline: float,
                 all_candidates: List[Candidate],
                 stage_pass: Dict[str, bool],
                 stage_speed: Dict[str, float],
-                demos: Tuple[RetrievedDemo, ...]) -> PipelineResult:
+                demos: Tuple[RetrievedDemo, ...],
+                emit: Callable = _no_emit) -> PipelineResult:
         passing = [c for c in all_candidates if c.passed]
         best = min(passing, key=lambda c: c.seconds) if passing else None
         best_seconds = best.seconds if best else None
         speedup = (baseline / best_seconds
                    if best_seconds and best_seconds > 0 else 0.0)
+        emit("selected", passed=bool(passing), speedup=speedup,
+             slot=best.slot if best else None,
+             round=best.round_tag if best else None)
         return PipelineResult(
             target=target.name,
             passed=bool(passing),

@@ -1,31 +1,37 @@
-"""The LOOPRAG facade — one object, one ``optimize`` call.
+"""Deprecated facades over the service API (:mod:`repro.api`).
 
-Wires together the synthesized dataset, the loop-aware retriever, a
-simulated-LLM persona, the feedback pipeline, the equivalence tester and
-the machine model, mirroring Figure 3.  ``BaseLLMOptimizer`` is the
-bare-LLM baseline of §6.2.2 (instruction prompting, no demonstrations,
-no feedback).
+``LoopRAG`` and ``BaseLLMOptimizer`` were the original one-object,
+one-``optimize``-call entry points of Figure 3.  They remain here as
+thin shims over :class:`repro.api.OptimizerSession` with byte-identical
+outputs — same pipelines, same seeds, same candidates — but new code
+should construct a session directly:
+
+====================================  =================================
+old                                   new
+====================================  =================================
+``LoopRAG(ds, persona).optimize``     ``OptimizerSession(...).optimize``
+``BaseLLMOptimizer(persona)``         ``system="basellm"`` requests
+``run_looprag`` / ``run_base_llm``    ``session.run_plans`` (harness)
+====================================  =================================
+
+The shims emit :class:`DeprecationWarning` once per construction.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from ..compilers.base import BaseCompiler, GCC
 from ..ir.program import Program
 from ..llm.personas import Persona
-from ..llm.simulated import SimulatedLLM
 from ..machine.model import DEFAULT_MACHINE, MachineModel
 from ..retrieval.retriever import Retriever
 from ..synthesis.dataset import Dataset
-from .generation import (DEFAULT_K, DEFAULT_TIME_LIMIT, FeedbackPipeline,
+from .generation import (BASELINE_TIME_LIMIT, DEFAULT_K,
+                         DEFAULT_TIME_LIMIT, LOOPRAG_TIME_LIMIT,
                          PipelineResult)
-
-#: the paper's runtime limits: 120 s for LOOPRAG's candidates, 600 s for
-#: baseline systems (§6.1)
-LOOPRAG_TIME_LIMIT = 120.0
-BASELINE_TIME_LIMIT = 600.0
 
 
 @dataclass(frozen=True)
@@ -55,8 +61,20 @@ class OptimizeOutcome:
         return self.result.best.response.applied
 
 
+def _deprecated(old: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use repro.api.OptimizerSession "
+        f"(see docs/architecture.md, 'Service API')",
+        DeprecationWarning, stacklevel=3)
+
+
 class LoopRAG:
-    """Retrieval-augmented loop transformation optimizer (Figure 3)."""
+    """Retrieval-augmented loop transformation optimizer (Figure 3).
+
+    .. deprecated::
+        Thin shim over :class:`repro.api.OptimizerSession`; outputs are
+        byte-identical to the pre-session implementation.
+    """
 
     def __init__(self, dataset: Dataset, persona: Persona,
                  base_compiler: BaseCompiler = GCC,
@@ -66,25 +84,33 @@ class LoopRAG:
                  time_limit: float = LOOPRAG_TIME_LIMIT,
                  seed: int = 0,
                  retriever: Optional[Retriever] = None) -> None:
+        from ..api.session import OptimizerSession
+
+        _deprecated("LoopRAG")
         self.persona = persona
-        self.retriever = retriever or Retriever(dataset)
-        self.pipeline = FeedbackPipeline(
-            retriever=self.retriever,
-            llm_factory=lambda: SimulatedLLM(persona, seed),
-            base_compiler=base_compiler,
-            machine=machine,
-            retrieval_method=retrieval_method,
-            k=k,
-            time_limit=time_limit,
-            use_feedback=True,
-            seed=seed)
+        self.session = OptimizerSession(
+            seed=seed, retrieval_method=retrieval_method,
+            base_compiler=base_compiler, machine=machine, k=k,
+            dataset=None if retriever is not None else dataset,
+            retriever=retriever)
+        self.time_limit = time_limit
+        self.retriever = self.session.retriever
+        self.pipeline = self.session.pipeline_for("looprag", persona,
+                                                  time_limit)
 
     def optimize(self, program: Program,
                  perf_params: Mapping[str, int],
                  test_params: Mapping[str, int]) -> OptimizeOutcome:
         """Optimize one SCoP; returns the fastest verified candidate."""
-        return OptimizeOutcome(
-            self.pipeline.run(program, perf_params, test_params))
+        from ..api.session import OptimizationRequest
+
+        result = self.session.optimize(
+            OptimizationRequest.make(program, perf_params, test_params,
+                                     system="looprag",
+                                     persona=self.persona,
+                                     time_limit=self.time_limit),
+            use_store=False)
+        return OptimizeOutcome(result.pipeline_result)
 
 
 class BaseLLMOptimizer:
@@ -92,6 +118,9 @@ class BaseLLMOptimizer:
 
     As a *baseline* its runtime threshold is the 600 s one (§6.1), not
     LOOPRAG's 120 s optimization-success threshold.
+
+    .. deprecated::
+        Thin shim over :class:`repro.api.OptimizerSession`.
     """
 
     def __init__(self, persona: Persona,
@@ -100,19 +129,28 @@ class BaseLLMOptimizer:
                  k: int = DEFAULT_K,
                  time_limit: float = BASELINE_TIME_LIMIT,
                  seed: int = 0) -> None:
+        from ..api.session import OptimizerSession
+
+        _deprecated("BaseLLMOptimizer")
         self.persona = persona
-        self.pipeline = FeedbackPipeline(
-            retriever=None,
-            llm_factory=lambda: SimulatedLLM(persona, seed),
-            base_compiler=base_compiler,
-            machine=machine,
-            k=k,
-            time_limit=time_limit,
-            use_feedback=False,
-            seed=seed)
+        # a bare-LLM session never touches the corpus; keep the machine
+        # override out of the store key by disabling the store outright
+        self.session = OptimizerSession(
+            seed=seed, base_compiler=base_compiler, machine=machine,
+            k=k, use_store=False)
+        self.time_limit = time_limit
+        self.pipeline = self.session.pipeline_for("basellm", persona,
+                                                  time_limit)
 
     def optimize(self, program: Program,
                  perf_params: Mapping[str, int],
                  test_params: Mapping[str, int]) -> OptimizeOutcome:
-        return OptimizeOutcome(
-            self.pipeline.run(program, perf_params, test_params))
+        from ..api.session import OptimizationRequest
+
+        result = self.session.optimize(
+            OptimizationRequest.make(program, perf_params, test_params,
+                                     system="basellm",
+                                     persona=self.persona,
+                                     time_limit=self.time_limit),
+            use_store=False)
+        return OptimizeOutcome(result.pipeline_result)

@@ -9,8 +9,8 @@ from .parallel import parallelize, vectorize
 from .recipe import (ALL_KINDS, KIND_DISTRIBUTION, KIND_FUSION,
                      KIND_INTERCHANGE, KIND_PARALLEL, KIND_REG_ACCUM,
                      KIND_SHIFTING, KIND_SKEWING, KIND_TILING,
-                     KIND_VECTORIZE, LOOP_KINDS, TransformRecipe,
-                     TransformStep)
+                     KIND_VECTORIZE, LOOP_KINDS, TRANSFORMS,
+                     TransformRecipe, TransformStep)
 from .scalar import accumulate_in_register
 from .skewing import shift, skew
 from .tiling import DEFAULT_TILE, tile
@@ -22,7 +22,7 @@ __all__ = [
     "distribute", "fuse", "interchange", "parallelize", "vectorize",
     "ALL_KINDS", "KIND_DISTRIBUTION", "KIND_FUSION", "KIND_INTERCHANGE",
     "KIND_PARALLEL", "KIND_REG_ACCUM", "KIND_SHIFTING", "KIND_SKEWING",
-    "KIND_TILING", "KIND_VECTORIZE", "LOOP_KINDS", "TransformRecipe",
-    "TransformStep",
+    "KIND_TILING", "KIND_VECTORIZE", "LOOP_KINDS", "TRANSFORMS",
+    "TransformRecipe", "TransformStep",
     "accumulate_in_register", "shift", "skew", "tile", "DEFAULT_TILE",
 ]

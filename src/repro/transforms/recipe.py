@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
 
 from ..ir.program import Program
+from ..registry import Registry, UnknownComponentError
 from .base import TransformError
 from .fusion import distribute, fuse
 from .interchange import interchange
@@ -36,6 +37,68 @@ LOOP_KINDS = (KIND_TILING, KIND_INTERCHANGE, KIND_SKEWING, KIND_FUSION,
               KIND_DISTRIBUTION, KIND_SHIFTING)
 ALL_KINDS = LOOP_KINDS + (KIND_PARALLEL, KIND_VECTORIZE, KIND_REG_ACCUM)
 
+#: transform appliers by kind: ``(program, args dict) -> Program``.
+#: :meth:`TransformStep.apply` dispatches through this registry, so new
+#: transformations plug in by registering an applier — recipes, the
+#: simulated LLMs and the compilers all pick them up by name.
+TRANSFORMS = Registry("transformation kind")
+
+
+@TRANSFORMS.register_as(KIND_TILING)
+def _apply_tiling(program: Program, args: Dict[str, Any]) -> Program:
+    return tile(program, args["columns"], args.get("sizes", 32),
+                args.get("stmts"), args.get("at"))
+
+
+@TRANSFORMS.register_as(KIND_INTERCHANGE)
+def _apply_interchange(program: Program, args: Dict[str, Any]) -> Program:
+    return interchange(program, args["col_a"], args["col_b"],
+                       args.get("stmts"))
+
+
+@TRANSFORMS.register_as(KIND_SKEWING)
+def _apply_skewing(program: Program, args: Dict[str, Any]) -> Program:
+    return skew(program, args["target_col"], args["source_col"],
+                args["factor"], args.get("stmts"))
+
+
+@TRANSFORMS.register_as(KIND_FUSION)
+def _apply_fusion(program: Program, args: Dict[str, Any]) -> Program:
+    return fuse(program, args["col"], args.get("stmts"))
+
+
+@TRANSFORMS.register_as(KIND_DISTRIBUTION)
+def _apply_distribution(program: Program, args: Dict[str, Any]) -> Program:
+    return distribute(program, args["col"], args.get("stmts"))
+
+
+@TRANSFORMS.register_as(KIND_SHIFTING)
+def _apply_shifting(program: Program, args: Dict[str, Any]) -> Program:
+    return shift(program, args["stmt"], args["col"], args["offset"])
+
+
+@TRANSFORMS.register_as(KIND_PARALLEL)
+def _apply_parallel(program: Program, args: Dict[str, Any]) -> Program:
+    return parallelize(program, args["col"])
+
+
+@TRANSFORMS.register_as(KIND_VECTORIZE)
+def _apply_vectorize(program: Program, args: Dict[str, Any]) -> Program:
+    return vectorize(program, args["col"])
+
+
+@TRANSFORMS.register_as(KIND_REG_ACCUM)
+def _apply_reg_accum(program: Program, args: Dict[str, Any]) -> Program:
+    return accumulate_in_register(program, args["stmt"])
+
+
+def _resolve_applier(kind: str):
+    """Registry lookup re-raised as the package's own error type."""
+    try:
+        return TRANSFORMS.get(kind)
+    except UnknownComponentError as exc:
+        raise TransformError(str(exc)) from None
+
 
 @dataclass(frozen=True)
 class TransformStep:
@@ -46,8 +109,7 @@ class TransformStep:
 
     @staticmethod
     def make(kind: str, **args: Any) -> "TransformStep":
-        if kind not in ALL_KINDS:
-            raise TransformError(f"unknown transformation kind {kind!r}")
+        _resolve_applier(kind)  # validate eagerly
         frozen = tuple(sorted(
             (k, tuple(v) if isinstance(v, list) else v)
             for k, v in args.items()))
@@ -58,30 +120,7 @@ class TransformStep:
                 for k, v in self.args}
 
     def apply(self, program: Program) -> Program:
-        args = self.arg_dict()
-        if self.kind == KIND_TILING:
-            return tile(program, args["columns"],
-                        args.get("sizes", 32), args.get("stmts"),
-                        args.get("at"))
-        if self.kind == KIND_INTERCHANGE:
-            return interchange(program, args["col_a"], args["col_b"],
-                               args.get("stmts"))
-        if self.kind == KIND_SKEWING:
-            return skew(program, args["target_col"], args["source_col"],
-                        args["factor"], args.get("stmts"))
-        if self.kind == KIND_FUSION:
-            return fuse(program, args["col"], args.get("stmts"))
-        if self.kind == KIND_DISTRIBUTION:
-            return distribute(program, args["col"], args.get("stmts"))
-        if self.kind == KIND_SHIFTING:
-            return shift(program, args["stmt"], args["col"], args["offset"])
-        if self.kind == KIND_PARALLEL:
-            return parallelize(program, args["col"])
-        if self.kind == KIND_VECTORIZE:
-            return vectorize(program, args["col"])
-        if self.kind == KIND_REG_ACCUM:
-            return accumulate_in_register(program, args["stmt"])
-        raise TransformError(f"unknown transformation kind {self.kind!r}")
+        return _resolve_applier(self.kind)(program, self.arg_dict())
 
     def __str__(self) -> str:
         rendered = ", ".join(f"{k}={v}" for k, v in self.args)

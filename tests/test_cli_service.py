@@ -1,0 +1,102 @@
+"""CLI service surface: ``optimize --json`` and ``serve-batch``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+KERNEL = """
+scop axpyish(N) {
+  array X[N] output;
+  array Y[N];
+  for (i = 0; i < N; i++)
+    X[i] = X[i] + 2.0 * Y[i];
+}
+"""
+
+
+@pytest.fixture()
+def kernel_file(tmp_path):
+    path = tmp_path / "k.scop"
+    path.write_text(KERNEL)
+    return str(path)
+
+
+class TestOptimizeJson:
+    def test_json_is_byte_stable_and_structured(self, kernel_file,
+                                                capsys):
+        argv = ["optimize", kernel_file, "--dataset-size", "40",
+                "--json"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second  # byte-stable across runs
+
+        doc = json.loads(first)
+        assert set(doc) == {"request", "result", "events"}
+        assert doc["request"]["target"] == "axpyish"
+        assert doc["request"]["system"] == "looprag"
+        assert doc["request"]["perf"] == {"N": 1500}
+        assert isinstance(doc["result"]["passed"], bool)
+        kinds = [e["kind"] for e in doc["events"]]
+        assert kinds[0] == "request" and "selected" in kinds
+        assert [e["seq"] for e in doc["events"]] == \
+            list(range(len(doc["events"])))
+
+    def test_text_and_json_agree(self, kernel_file, capsys):
+        code_text = main(["optimize", kernel_file, "--dataset-size",
+                          "40"])
+        text = capsys.readouterr().out
+        code_json = main(["optimize", kernel_file, "--dataset-size",
+                          "40", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code_text == code_json
+        assert f"pass: {doc['result']['passed']}" in text
+
+    def test_events_stream_to_stderr(self, kernel_file, capsys):
+        main(["optimize", kernel_file, "--dataset-size", "40",
+              "--events"])
+        captured = capsys.readouterr()
+        assert "retrieval_done" in captured.err
+        assert "retrieval_done" not in captured.out
+
+
+class TestServeBatch:
+    def test_batch_report(self, kernel_file, tmp_path, capsys):
+        spec = {
+            "session": {"dataset_size": 40, "seed": 0},
+            "requests": [
+                {"file": kernel_file, "system": "looprag",
+                 "persona": "deepseek", "perf": {"N": 2000},
+                 "test": {"N": 8}, "tag": "llm"},
+                {"file": kernel_file, "system": "compiler",
+                 "optimizer": "pluto", "perf": {"N": 2000},
+                 "tag": "comp"},
+            ],
+        }
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps(spec))
+        out_file = tmp_path / "report.json"
+
+        main(["serve-batch", str(batch), "--json", str(out_file),
+              "--format", "json"])
+        stdout_doc = json.loads(capsys.readouterr().out)
+        file_doc = json.loads(out_file.read_text())
+        assert stdout_doc == file_doc
+        assert file_doc["count"] == 2
+        tags = [r["request"]["tag"] for r in file_doc["results"]]
+        assert tags == ["llm", "comp"]
+        assert file_doc["results"][1]["request"]["optimizer"] == "pluto"
+
+        # warm rerun (store hits) renders the identical report
+        main(["serve-batch", str(batch), "--format", "json"])
+        warm_doc = json.loads(capsys.readouterr().out)
+        assert warm_doc == stdout_doc
+
+    def test_bad_request_entry(self, tmp_path):
+        batch = tmp_path / "bad.json"
+        batch.write_text(json.dumps({"requests": [{"tag": "x"}]}))
+        with pytest.raises(SystemExit, match="source"):
+            main(["serve-batch", str(batch)])

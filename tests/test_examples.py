@@ -1,0 +1,46 @@
+"""Smoke-run every documented entry point under ``examples/``.
+
+API refactors must not silently break the scripts the README points
+people at.  Each script honours ``REPRO_EXAMPLE_SIZE`` so the corpora
+stay tiny here; they share one cache directory so the corpus is built
+once across scripts.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+
+@pytest.fixture(scope="module")
+def example_env(tmp_path_factory):
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    env["REPRO_EXAMPLE_SIZE"] = "30"
+    env["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("example_cache"))
+    return env
+
+
+def test_every_example_is_covered():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names and "batch_service.py" in names
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLES,
+                         ids=[path.stem for path in EXAMPLES])
+def test_example_runs(script, example_env):
+    proc = subprocess.run(
+        [sys.executable, str(script)], cwd=str(REPO), env=example_env,
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, (
+        f"{script.name} failed\n--- stdout ---\n{proc.stdout[-2000:]}"
+        f"\n--- stderr ---\n{proc.stderr[-2000:]}")
+    assert proc.stdout.strip(), f"{script.name} printed nothing"

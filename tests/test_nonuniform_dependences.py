@@ -1,0 +1,213 @@
+"""Non-uniform subscript hardening (ROADMAP soundness item).
+
+Dependences are concretized on small parameter bindings; classes whose
+distance grows with the bounds (non-uniform subscripts) can have their
+first occurrence ("onset") beyond the fixed 10/13 sizes.  The
+hardening detects non-uniform subscripts structurally and adds a
+scaled pass at 2x the largest default size, so every onset <= 26 is
+covered.  The hypothesis test walks the whole onset range, checks both
+engines agree, and pins the regression: onsets in (13, 26] used to be
+invisible.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dependences import (analysis_override,
+                                        compute_dependences,
+                                        dependences, is_legal_schedule,
+                                        nonuniform_arrays)
+from repro.ir import parse_scop
+
+
+def _late_onset_program(onset: int):
+    """``X[2*i] = ... X[i+K]``: the WAR (read at i1, overwritten by the
+    write at i2 = i1/2 + K/2 > i1) first occurs at N = ``onset``."""
+    k = 2 * (onset - 1)
+    return parse_scop(f"""
+    scop late(N) {{
+      array X[3*N] output;
+      array W[3*N];
+      for (i = 0; i < N; i++)
+        X[2*i] = W[i] + X[i+{k}];
+    }}
+    """)
+
+
+def _const_offset_program(offset: int):
+    """``X[i] = ... X[i+offset]``: a *uniform* WAR of distance
+    ``offset`` whose first occurrence needs ``N >= offset + 1``."""
+    return parse_scop(f"""
+    scop shifted_read(N) {{
+      array X[2*N] output;
+      array W[2*N];
+      for (i = 0; i < N; i++)
+        X[i] = W[i] + X[i+{offset}];
+    }}
+    """)
+
+
+class TestDetection:
+    def test_coefficient_mismatch_flagged(self):
+        assert nonuniform_arrays(_late_onset_program(5)) == {"X"}
+
+    def test_coupled_subscript_flagged(self):
+        program = parse_scop("""
+        scop coupled(N) {
+          array A[2*N] output;
+          for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++)
+              A[i+j] = A[i+j] + 1.0;
+        }
+        """)
+        assert nonuniform_arrays(program) == {"A"}
+
+    def test_parameter_in_subscript_flagged(self):
+        program = parse_scop("""
+        scop shifted(N) {
+          array A[3*N] output;
+          for (i = 0; i < N; i++)
+            A[i+N] = A[i] * 0.5;
+        }
+        """)
+        assert nonuniform_arrays(program) == {"A"}
+
+    def test_large_constant_offset_flagged(self):
+        # uniform distance, late onset: X[i] vs X[i+20] first collide
+        # at N = 21 — beyond both default bindings
+        program = _const_offset_program(20)
+        assert nonuniform_arrays(program) == {"X"}
+
+    def test_small_constant_offset_unflagged(self):
+        # offset 5's onset (N = 6) is well inside the default sizes
+        assert nonuniform_arrays(_const_offset_program(5)) == frozenset()
+
+    def test_uniform_programs_unflagged(self, gemm, jacobi2d, stream,
+                                        recur):
+        for program in (gemm, jacobi2d, stream, recur):
+            assert nonuniform_arrays(program) == frozenset()
+
+    def test_iterator_identity_is_ignored(self):
+        # same coefficient under different loop names / positions:
+        # collisions start at size 1, no extra pass warranted
+        program = parse_scop("""
+        scop xloop(N) {
+          array A[N] output;
+          array T[N][N] output;
+          for (i = 0; i < N; i++)
+            A[i] = 1.0;
+          for (j = 0; j < N; j++)
+            for (k = 0; k < N; k++)
+              T[j][k] = A[k] + T[k][j];
+        }
+        """)
+        assert nonuniform_arrays(program) == frozenset()
+
+    def test_shifted_loop_lower_bound_flagged(self):
+        # the offset hides in the loop bound, not the subscript: the
+        # WAR between A[i] (i from 0) and the A[j] read (j from 20)
+        # still needs N >= 21
+        program = parse_scop("""
+        scop shifted_loop(N) {
+          array A[2*N] output;
+          array B[2*N] output;
+          for (i = 0; i < N; i++)
+            A[i] = 1.0;
+          for (j = 20; j < N; j++)
+            B[j] = A[j] + 1.0;
+        }
+        """)
+        assert nonuniform_arrays(program) == {"A"}
+        deps = compute_dependences(program)
+        assert any(d.kind == "RAW" and d.array == "A" for d in deps)
+
+    def test_read_only_arrays_ignored(self, syrk):
+        # syrk reads A[i][k] and A[j][k] (differing linear parts), but
+        # A is never written -> no dependence possible, no extra pass
+        assert nonuniform_arrays(syrk) == frozenset()
+
+
+class TestScaledPass:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=26))
+    def test_onset_within_scaled_size_is_found(self, onset):
+        """Any onset <= 26 produces the WAR class — including the
+        (13, 26] band the fixed sizes used to miss — and the engines
+        agree witness for witness."""
+        program = _late_onset_program(onset)
+        with analysis_override("vectorized"):
+            vec = compute_dependences(program)
+        with analysis_override("reference"):
+            ref = compute_dependences(program)
+        assert vec == ref
+        assert any(d.kind == "WAR" and d.array == "X" for d in vec)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=13, max_value=60))
+    def test_constant_offset_onset_is_found(self, offset):
+        """Constant-offset classes (uniform distance, late onset) are
+        flagged and the binding scales with the spread, so even offsets
+        far beyond 26 are concretized where they occur."""
+        program = _const_offset_program(offset)
+        with analysis_override("vectorized"):
+            vec = compute_dependences(program)
+        with analysis_override("reference"):
+            ref = compute_dependences(program)
+        assert vec == ref
+        war = [d for d in vec if d.kind == "WAR" and d.array == "X"]
+        assert war and war[0].distances == ((offset,),)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=14, max_value=26))
+    def test_regression_late_onsets_were_missed(self, onset):
+        """The pinned soundness hole: at the fixed sizes alone (explicit
+        params bypass the scaled pass) the class is invisible."""
+        program = _late_onset_program(onset)
+        for size in (10, 13):
+            only_fixed = compute_dependences(program, {"N": size})
+            assert not any(d.array == "X" for d in only_fixed)
+        hardened = compute_dependences(program)
+        assert any(d.kind == "WAR" and d.array == "X" for d in hardened)
+
+    def test_uniform_distances_unchanged_by_hardening(self, jacobi2d):
+        """Uniform programs must produce byte-identical dependences to
+        the plain two-size merge (no third pass leaking in)."""
+        assert nonuniform_arrays(jacobi2d) == frozenset()
+        merged = compute_dependences(jacobi2d)
+        # reconstruct the two-size merge by hand via explicit params
+        per_size = [compute_dependences(jacobi2d, {"T": v, "N": v})
+                    for v in (10, 13)]
+        keys = {(d.kind, d.source, d.target, d.array) for d in merged}
+        assert keys == {(d.kind, d.source, d.target, d.array)
+                        for deps in per_size for d in deps}
+
+    def test_legality_uses_scaled_witnesses(self):
+        """Late-onset witnesses carry the scaled binding they were
+        observed at, so legality evaluates them at a size where the
+        dependence actually exists."""
+        program = _late_onset_program(20)
+        deps = dependences(program)
+        assert is_legal_schedule(program, deps)
+        late = [d for d in deps if d.array == "X"]
+        assert late and all(
+            dict(src_env).get("N", 0) > 13
+            for d in late
+            for (_s, src_env), _t in d.witnesses)
+
+    def test_budget_overflow_falls_back_to_base_sizes(self):
+        """A deep non-uniform nest whose scaled pass would blow the
+        enumeration budget keeps the base-size classes (no crash)."""
+        program = parse_scop("""
+        scop deep(N) {
+          array A[2*N][N][N] output;
+          for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++)
+              for (k = 0; k < N; k++)
+                for (l = 0; l < N; l++)
+                  A[i+j][k][l] = A[i+j][k][l] + 1.0;
+        }
+        """)
+        assert nonuniform_arrays(program) == {"A"}
+        deps = compute_dependences(program)  # must not raise
+        assert any(d.array == "A" for d in deps)
