@@ -6,13 +6,24 @@ JOBS ?= 4
 
 export PYTHONPATH := src
 
-.PHONY: test test-quick test-reference bench perf clean-cache
+.PHONY: test test-quick test-reference test-store bench perf clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-quick:
 	REPRO_SUITE_LIMIT=3 $(PYTHON) -m pytest -x -q
+
+# artifact-store contract: backend conformance + spec-equivalence
+# properties + concurrency/crash-recovery stress, with enough workers
+# to make append races real.  REPRO_STORE_BACKEND selects the backend
+# the harness-level tests exercise (conformance always runs them all).
+test-store:
+	REPRO_JOBS=$(JOBS) $(PYTHON) -m pytest -x -q \
+	    tests/test_artifact_store_conformance.py \
+	    tests/test_storage_property.py \
+	    tests/test_store_parallel.py \
+	    tests/test_dataset_cache.py
 
 # the executable specifications (scalar interpreter + per-instance
 # dependence walk) must stay green on their own, not just as oracles

@@ -26,7 +26,8 @@ outputs; see docs/architecture.md for the migration map.
 
 from .events import EventBus, EventLog, SessionEvent
 from .registry import (BASE_COMPILER_REGISTRY, LLM_BACKENDS,
-                       OPTIMIZER_REGISTRY, RETRIEVAL_METHODS, TRANSFORMS,
+                       OPTIMIZER_REGISTRY, RETRIEVAL_METHODS,
+                       STORE_BACKENDS, TRANSFORMS,
                        DuplicateComponentError, Registry,
                        UnknownComponentError)
 from .session import (OptimizationRequest, OptimizationResult,
@@ -35,7 +36,7 @@ from .session import (OptimizationRequest, OptimizationResult,
 __all__ = [
     "EventBus", "EventLog", "SessionEvent",
     "BASE_COMPILER_REGISTRY", "LLM_BACKENDS", "OPTIMIZER_REGISTRY",
-    "RETRIEVAL_METHODS", "TRANSFORMS",
+    "RETRIEVAL_METHODS", "STORE_BACKENDS", "TRANSFORMS",
     "DuplicateComponentError", "Registry", "UnknownComponentError",
     "OptimizationRequest", "OptimizationResult", "OptimizerSession",
 ]

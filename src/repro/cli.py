@@ -13,6 +13,8 @@ bench             run systems over suites (parallel, store-backed)
 perf              engine micro-benchmarks (vectorized vs reference):
                   --target interpreter (execution) or analysis
                   (dependences + legality queries)
+store stats       per-stream artifact-store shape (entries, waste)
+store compact     reclaim superseded/tombstoned/corrupt store records
 suites            list the benchmark suites and their kernels
 synthesize        build a demonstration corpus and report its statistics
 
@@ -174,9 +176,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     stats = cache_stats()
     store = active_store()
-    where = store.path if store is not None else "disabled"
+    where = store.describe() if store is not None else "disabled"
     print(f"# cache: {stats['hits']} hits, {stats['misses']} misses, "
-          f"{stats['writes']} writes ({where})", file=sys.stderr)
+          f"{stats['writes']} writes, {stats['superseded']} superseded, "
+          f"{stats['corrupt']} corrupt ({where})", file=sys.stderr)
     return 0
 
 
@@ -540,6 +543,76 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _store_for_maintenance(args: argparse.Namespace):
+    """The ResultStore targeted by ``repro store`` subcommands.
+
+    Maintenance is explicit, so it ignores ``REPRO_NO_CACHE`` and
+    operates on whatever ``--cache-dir`` / ``REPRO_CACHE_DIR`` names.
+    """
+    from .evaluation.store import ResultStore, cache_dir
+
+    root = args.cache_dir or str(cache_dir())
+    return ResultStore(root, backend=args.backend)
+
+
+def cmd_store_stats(args: argparse.Namespace) -> int:
+    """Per-stream shape of the artifact store (entries, waste, bytes)."""
+    import json
+
+    store = _store_for_maintenance(args)
+    artifacts = store.artifacts()
+    streams = artifacts.streams()
+    report = {
+        "backend": artifacts.name,
+        "root": artifacts.root,
+        "streams": {name: artifacts.stream_stats(name).to_dict()
+                    for name in streams},
+    }
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"# store: {artifacts.describe()}")
+    if not streams:
+        print("(empty)")
+        return 0
+    header = (f"{'stream':12s} {'entries':>8s} {'superseded':>11s} "
+              f"{'tombstones':>11s} {'corrupt':>8s} {'shards':>7s} "
+              f"{'bytes':>12s}")
+    print(header)
+    for name in streams:
+        s = report["streams"][name]
+        print(f"{name:12s} {s['entries']:8d} {s['superseded']:11d} "
+              f"{s['tombstones']:11d} {s['corrupt']:8d} "
+              f"{s['shards']:7d} {s['bytes']:12d}")
+    return 0
+
+
+def cmd_store_compact(args: argparse.Namespace) -> int:
+    """Drop superseded/tombstoned/corrupt records from every stream."""
+    import json
+
+    store = _store_for_maintenance(args)
+    artifacts = store.artifacts()
+    streams = ([args.stream] if args.stream
+               else list(artifacts.streams()))
+    reports = [artifacts.compact(name) for name in streams]
+    if args.format == "json":
+        print(json.dumps({"backend": artifacts.name,
+                          "root": artifacts.root,
+                          "compacted": [r.to_dict() for r in reports]},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"# store: {artifacts.describe()}")
+    if not reports:
+        print("(empty)")
+    for report in reports:
+        print(f"{report.stream:12s} kept {report.kept:6d}   dropped "
+              f"{report.dropped_superseded} superseded, "
+              f"{report.dropped_tombstones} tombstones, "
+              f"{report.dropped_corrupt} corrupt")
+    return 0
+
+
 def cmd_suites(args: argparse.Namespace) -> int:
     from .suites import SUITES
 
@@ -699,6 +772,30 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("table", "json"),
                      help="stdout format (default: table)")
     per.set_defaults(func=cmd_perf)
+
+    sto = sub.add_parser(
+        "store", help="artifact-store maintenance (stats, compaction)")
+    stosub = sto.add_subparsers(dest="store_command", required=True)
+    for name, func in (("stats", cmd_store_stats),
+                       ("compact", cmd_store_compact)):
+        part = stosub.add_parser(
+            name, help=(f"print per-stream store statistics"
+                        if name == "stats" else
+                        "rewrite shards, dropping reclaimable lines"))
+        part.add_argument("--cache-dir", metavar="DIR",
+                          help="store location (default "
+                               "REPRO_CACHE_DIR or .repro_cache/)")
+        part.add_argument("--backend", default=None,
+                          help="artifact-store backend (default: "
+                               "REPRO_STORE_BACKEND or local)")
+        part.add_argument("--format", default="table",
+                          choices=("table", "json"),
+                          help="output format (default: table)")
+        if name == "compact":
+            part.add_argument("--stream", metavar="NAME",
+                              help="compact only this stream "
+                                   "(default: every stream)")
+        part.set_defaults(func=func)
 
     ste = sub.add_parser("suites", help="list benchmark suites")
     ste.add_argument("-v", "--verbose", action="store_true")

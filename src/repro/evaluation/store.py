@@ -1,36 +1,51 @@
 """Persistent, content-keyed result store for the evaluation harness.
 
-The session-local ``_RUN_CACHE`` memoization in ``harness.py`` only lives
-for one process; every pytest/bench invocation used to recompute the
-world from scratch.  This module persists finished runs to disk so warm
-reruns are near-no-ops.
+The session-local ``_RUN_CACHE`` memoization in ``harness.py`` only
+lives for one process; every pytest/bench invocation used to recompute
+the world from scratch.  This module persists finished runs to disk so
+warm reruns are near-no-ops.
 
 Layout
 ------
-Results live in a single append-only JSON-lines file,
-``<cache-dir>/results.jsonl``.  Each line is one completed plan::
+Results live in the ``"results"`` stream of a pluggable
+:class:`repro.storage.ArtifactStore` rooted at ``<cache-dir>/store/``.
+The default backend (:class:`repro.storage.LocalShardedStore`) shards
+entries by key digest into per-shard append-only JSON-lines files with
+an in-memory key index and per-shard file locks, so any number of
+concurrent sessions and fork-pool workers append whole records safely;
+``repro store compact`` reclaims superseded and corrupt lines.  Set
+``REPRO_STORE_BACKEND`` to swap the backend (every registered backend
+passes the same conformance suite).
 
-    {"schema": 1, "key": "[...]", "results": [{...}, ...]}
+Each stored record maps an encoded cache key to one completed plan's
+payload:
 
-* ``schema`` — the store format version (:data:`SCHEMA_VERSION`).
-  Lines with a different schema are ignored, so format changes
-  invalidate old entries instead of mis-reading them.
-* ``key`` — the JSON-encoded cache key: the same tuple the in-memory
-  cache uses (plan kind, suite, system parameters, ``REPRO_SUITE_LIMIT``)
-  plus a dataset signature (see ``synthesis.dataset.dataset_signature``)
-  and a code signature over the result-determining packages, so edits to
-  the pipeline/transforms/compilers invalidate stale entries.
-* ``results`` — the serialized ``BenchResult`` payload (the store is
+* the key is the JSON-encoded tuple the in-memory cache uses (plan
+  kind, suite, system parameters, ``REPRO_SUITE_LIMIT``) plus a dataset
+  signature (see ``synthesis.dataset.dataset_signature``) and a code
+  signature over the result-determining packages, so edits to the
+  pipeline/transforms/compilers invalidate stale entries;
+* the payload is the serialized ``BenchResult`` list (the store is
   payload-agnostic; ``harness.py`` owns the (de)serialization).
 
 Corrupt lines (truncated writes, hand edits, non-JSON garbage) are
-skipped on load and counted in :meth:`ResultStore.stats`.  When the same
-key appears twice, the last line wins.
+skipped on load and reported by :meth:`ResultStore.stats` separately
+from superseded duplicates.  When the same key appears twice, the last
+record wins.
+
+Migration
+---------
+Stores written before the sharded layout (a single
+``<cache-dir>/results.jsonl``) are absorbed on first open: every valid
+line is re-appended to the sharded store — same keys, same payloads, so
+warm hits are byte-identical through the migration — and the legacy
+file is renamed to ``results.jsonl.migrated``.
 
 Environment switches
 --------------------
-``REPRO_CACHE_DIR``   store directory (default ``.repro_cache/``)
-``REPRO_NO_CACHE``    any non-empty value disables the store entirely
+``REPRO_CACHE_DIR``       store directory (default ``.repro_cache/``)
+``REPRO_NO_CACHE``        any non-empty value disables the store
+``REPRO_STORE_BACKEND``   artifact-store backend (default ``local``)
 """
 
 from __future__ import annotations
@@ -39,11 +54,16 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
+
+from ..storage import (ArtifactStore, CompactionReport, backend_name,
+                       exclusive_lock, open_store)
 
 SCHEMA_VERSION = 1
 DEFAULT_CACHE_DIR = ".repro_cache"
-RESULTS_FILE = "results.jsonl"
+RESULTS_FILE = "results.jsonl"       # pre-sharding legacy layout
+STORE_DIR = "store"                  # artifact-store root, per cache dir
+RESULTS_STREAM = "results"
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_NO_CACHE = "REPRO_NO_CACHE"
@@ -55,46 +75,65 @@ def encode_key(key: Sequence) -> str:
 
 
 class ResultStore:
-    """Append-only JSON-lines store mapping cache keys to payloads."""
+    """Cache-key -> payload store over a pluggable artifact backend."""
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, backend: Optional[str] = None) -> None:
         self.root = Path(root)
-        self._entries: Optional[Dict[str, List[dict]]] = None
+        self.backend = backend or backend_name()
+        self._artifacts: Optional[ArtifactStore] = None
         self.hits = 0
         self.misses = 0
         self.writes = 0
-        self.corrupt = 0
+        self.migrated = 0
 
     @property
     def path(self) -> Path:
+        """The pre-sharding single-file layout (migration source)."""
         return self.root / RESULTS_FILE
 
+    @property
+    def store_root(self) -> Path:
+        return self.root / STORE_DIR
+
+    def describe(self) -> str:
+        return self.artifacts().describe()
+
     # ------------------------------------------------------------------
-    def _load(self) -> Dict[str, List[dict]]:
-        if self._entries is not None:
-            return self._entries
-        entries: Dict[str, List[dict]] = {}
-        if self.path.exists():
-            with open(self.path) as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                        if record["schema"] != SCHEMA_VERSION:
-                            self.corrupt += 1
-                            continue
-                        entries[record["key"]] = record["results"]
-                    except (json.JSONDecodeError, KeyError, TypeError):
-                        self.corrupt += 1
-        self._entries = entries
-        return entries
+    def artifacts(self) -> ArtifactStore:
+        """The backing artifact store (opens + migrates on first use).
+
+        Shared with the persistent corpus cache
+        (``synthesis.dataset.cached_dataset``), which keeps its
+        ``"datasets"`` stream in the same store.
+        """
+        if self._artifacts is None:
+            store = open_store(self.store_root, self.backend)
+            self._migrate(store)
+            self._artifacts = store
+        return self._artifacts
+
+    def _migrate(self, store: ArtifactStore) -> None:
+        """Absorb a pre-sharding ``results.jsonl`` into the store."""
+        legacy = self.path
+        if not legacy.exists():
+            return
+        if not store.on_disk:
+            # non-durable backend: keep the legacy file (it IS the
+            # durable copy) and only absorb into an empty stream
+            if store.open(RESULTS_STREAM).entries == 0:
+                self.migrated += _absorb_legacy(legacy, store)
+            return
+        self.store_root.mkdir(parents=True, exist_ok=True)
+        with exclusive_lock(self.store_root / ".migrate.lock"):
+            if not legacy.exists():  # another process won the race
+                return
+            self.migrated += _absorb_legacy(legacy, store)
+            legacy.rename(legacy.with_name(RESULTS_FILE + ".migrated"))
 
     # ------------------------------------------------------------------
     def get(self, key: Sequence) -> Optional[List[dict]]:
         """Payload for ``key``, or None (counts a hit/miss either way)."""
-        found = self._load().get(encode_key(key))
+        found = self.artifacts().read(RESULTS_STREAM, encode_key(key))
         if found is None:
             self.misses += 1
         else:
@@ -103,39 +142,74 @@ class ResultStore:
 
     def contains(self, key: Sequence) -> bool:
         """Like :meth:`get` but without touching the hit/miss counters."""
-        return encode_key(key) in self._load()
+        return self.artifacts().contains(RESULTS_STREAM, encode_key(key))
 
     def put(self, key: Sequence, payload: List[dict]) -> None:
-        """Persist one plan's payload (append + update the live view).
+        """Persist one plan's payload.
 
-        The whole record goes down in one ``os.write`` on an
-        ``O_APPEND`` descriptor, so concurrent processes sharing a
-        cache dir append whole lines instead of interleaving torn
-        fragments through separate buffered flushes.
+        The backend contract makes this a single atomic append (one
+        ``write()`` on an ``O_APPEND`` descriptor under the shard lock
+        for the local backend), so concurrent processes sharing a cache
+        dir interleave whole records instead of torn fragments.
         """
-        encoded = encode_key(key)
-        self._load()[encoded] = payload
-        self.root.mkdir(parents=True, exist_ok=True)
-        record = {"schema": SCHEMA_VERSION, "key": encoded,
-                  "results": payload}
-        line = json.dumps(record, separators=(",", ":")) + "\n"
-        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
-                     0o644)
-        try:
-            os.write(fd, line.encode())
-        finally:
-            os.close(fd)
+        self.artifacts().append(RESULTS_STREAM, encode_key(key), payload)
         self.writes += 1
+
+    def delete(self, key: Sequence) -> bool:
+        """Tombstone one entry (rarely needed; compaction reclaims it)."""
+        return self.artifacts().delete(RESULTS_STREAM, encode_key(key))
 
     def clear(self) -> None:
         """Drop every entry (the ``make clean-cache`` path)."""
+        self.artifacts().drop(RESULTS_STREAM)
         if self.path.exists():
             self.path.unlink()
-        self._entries = {}
+
+    def compact(self) -> CompactionReport:
+        """Reclaim superseded/tombstoned/corrupt records."""
+        return self.artifacts().compact(RESULTS_STREAM)
 
     def stats(self) -> Dict[str, int]:
+        """Session counters + the stream's reclaimable-line breakdown.
+
+        ``superseded`` (duplicate keys shadowed by a later write) and
+        ``corrupt`` (undecodable lines skipped on load) are reported
+        separately; both drop to zero after :meth:`compact`.
+        """
+        stream = self.artifacts().stream_stats(RESULTS_STREAM)
         return {"hits": self.hits, "misses": self.misses,
-                "writes": self.writes, "corrupt": self.corrupt}
+                "writes": self.writes,
+                "superseded": stream.superseded,
+                "corrupt": stream.corrupt,
+                "entries": stream.entries}
+
+
+def _absorb_legacy(legacy: Path, store: ArtifactStore) -> int:
+    """Re-append every valid legacy line; returns the absorbed count.
+
+    Legacy records are ``{"schema": 1, "key": ..., "results": ...}``;
+    file order is preserved so last-write-wins semantics carry over,
+    and keys/payloads pass through unchanged — a warm hit after
+    migration is byte-identical to one served by the old store.
+    """
+    absorbed = 0
+    with open(legacy) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if record["schema"] != SCHEMA_VERSION:
+                    continue
+                key, results = record["key"], record["results"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue  # corrupt legacy line: dropped by migration
+            if not isinstance(key, str):
+                continue
+            store.append(RESULTS_STREAM, key, results)
+            absorbed += 1
+    return absorbed
 
 
 # ----------------------------------------------------------------------
@@ -163,12 +237,19 @@ def active_store() -> Optional[ResultStore]:
     return _STORES[root]
 
 
+def active_artifacts() -> Optional[ArtifactStore]:
+    """The shared artifact store, or None when caching is disabled."""
+    store = active_store()
+    return None if store is None else store.artifacts()
+
+
 def cache_stats() -> Dict[str, int]:
     """Aggregate hit/miss/write counters over every store touched."""
-    totals = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+    totals = {"hits": 0, "misses": 0, "writes": 0,
+              "superseded": 0, "corrupt": 0, "entries": 0}
     for store in _STORES.values():
         for name, value in store.stats().items():
-            totals[name] += value
+            totals[name] = totals.get(name, 0) + value
     return totals
 
 
@@ -189,6 +270,11 @@ _NON_RESULT_MODULES = (
     "evaluation/parallel.py",
     "evaluation/reporting.py",
     "evaluation/store.py",
+    "storage/__init__.py",
+    "storage/base.py",
+    "storage/local.py",
+    "storage/memory.py",
+    "storage/registry.py",
 )
 
 _CODE_SIGNATURE: Optional[str] = None

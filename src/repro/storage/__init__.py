@@ -1,0 +1,35 @@
+"""Pluggable artifact storage: named streams of keyed JSON payloads.
+
+The service-scale persistence layer (ROADMAP: "Sharded, compacting
+result store with pluggable backends").  :class:`ArtifactStore` is the
+contract — open/append/read/list/delete over named streams with
+last-write-wins keys, plus compaction — :class:`LocalShardedStore` is
+the default file backend (per-shard append-only files, in-memory key
+index, per-shard locks, crash-tolerant scans), and
+:class:`InMemoryStore` is the executable specification every backend is
+conformance-tested against.  Backends register in
+:data:`STORE_BACKENDS` and are selected with ``REPRO_STORE_BACKEND``.
+
+The evaluation result store (:mod:`repro.evaluation.store`) and the
+persistent corpus cache (:mod:`repro.synthesis.dataset`) are both thin
+clients of this package; ``repro store stats`` / ``repro store
+compact`` are the operational front end.
+"""
+
+from .base import (STORAGE_SCHEMA, ArtifactStore, CompactionReport,
+                   StoreError, StreamStats)
+from .local import (DEFAULT_SHARDS, LocalShardedStore, exclusive_lock,
+                    shard_of)
+from .memory import InMemoryStore
+from .registry import (DEFAULT_BACKEND, ENV_STORE_BACKEND,
+                       ENV_STORE_SHARDS, STORE_BACKENDS, backend_name,
+                       open_store)
+
+__all__ = [
+    "ArtifactStore", "CompactionReport", "StoreError", "StreamStats",
+    "STORAGE_SCHEMA",
+    "LocalShardedStore", "InMemoryStore",
+    "DEFAULT_SHARDS", "exclusive_lock", "shard_of",
+    "STORE_BACKENDS", "DEFAULT_BACKEND", "ENV_STORE_BACKEND",
+    "ENV_STORE_SHARDS", "backend_name", "open_store",
+]

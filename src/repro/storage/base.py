@@ -1,0 +1,156 @@
+"""The artifact-store contract: named streams of keyed JSON payloads.
+
+An :class:`ArtifactStore` holds independent *streams* (``"results"``,
+``"datasets"``, ...).  Each stream is a last-write-wins mapping from
+string keys to JSON payloads, built out of *appends*: a ``put`` appends
+a record, a ``delete`` appends a tombstone, and readers see only the
+final record per key.  Appends never rewrite existing data, so any
+number of writers can share a store; :meth:`ArtifactStore.compact`
+reclaims the space superseded records leave behind.
+
+The contract is executable: every backend registered in
+:data:`repro.storage.STORE_BACKENDS` runs through the same conformance
+suite (``tests/test_artifact_store_conformance.py``), with the
+in-memory backend acting as the specification the file-backed ones are
+compared against.
+
+Payloads must be JSON-serializable; a backend may hand back an equal
+copy rather than the object that was appended (they round-trip through
+JSON), which keeps every backend observationally identical to the
+in-memory spec.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+#: stored-line format version shared by the file backends; lines with a
+#: different version are treated as corrupt (skipped + counted) instead
+#: of mis-read
+STORAGE_SCHEMA = 1
+
+
+class StoreError(Exception):
+    """A backend violated its own invariants (torn append, bad shard)."""
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Point-in-time shape of one stream.
+
+    ``superseded`` and ``tombstones`` measure reclaimable appends;
+    ``corrupt`` counts undecodable or foreign lines skipped during the
+    scan.  All three drop to zero after :meth:`ArtifactStore.compact`.
+    """
+
+    entries: int = 0
+    superseded: int = 0
+    tombstones: int = 0
+    corrupt: int = 0
+    shards: int = 0
+    bytes: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"entries": self.entries, "superseded": self.superseded,
+                "tombstones": self.tombstones, "corrupt": self.corrupt,
+                "shards": self.shards, "bytes": self.bytes}
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one :meth:`ArtifactStore.compact` call dropped and kept."""
+
+    stream: str
+    kept: int = 0
+    dropped_superseded: int = 0
+    dropped_tombstones: int = 0
+    dropped_corrupt: int = 0
+
+    @property
+    def dropped(self) -> int:
+        return (self.dropped_superseded + self.dropped_tombstones
+                + self.dropped_corrupt)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"stream": self.stream, "kept": self.kept,
+                "dropped_superseded": self.dropped_superseded,
+                "dropped_tombstones": self.dropped_tombstones,
+                "dropped_corrupt": self.dropped_corrupt}
+
+
+class ArtifactStore(abc.ABC):
+    """Open/append/read/list/delete over named streams (see module doc).
+
+    Class attributes describe backend capabilities, which the
+    conformance suite keys scenarios on:
+
+    ``persistent``
+        a second instance over the same root observes the first one's
+        data (within one process at minimum).
+    ``on_disk``
+        entries live in real files — crash/corruption scenarios (torn
+        tails, hand-edited shards, cross-process writers) apply.
+    """
+
+    name: str = "?"
+    persistent: bool = False
+    on_disk: bool = False
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+
+    # -- the stream contract -------------------------------------------
+    @abc.abstractmethod
+    def open(self, stream: str) -> StreamStats:
+        """Ensure ``stream``'s index is loaded; returns its stats."""
+
+    @abc.abstractmethod
+    def append(self, stream: str, key: str, payload: Any) -> None:
+        """Upsert ``key`` (last write wins).  Atomic per record."""
+
+    @abc.abstractmethod
+    def read(self, stream: str, key: str) -> Optional[Any]:
+        """The live payload for ``key``, or None."""
+
+    @abc.abstractmethod
+    def delete(self, stream: str, key: str) -> bool:
+        """Append a tombstone; True iff ``key`` was live."""
+
+    @abc.abstractmethod
+    def list(self, stream: str) -> Tuple[str, ...]:
+        """Live keys, sorted."""
+
+    @abc.abstractmethod
+    def streams(self) -> Tuple[str, ...]:
+        """Streams with any on-record data, sorted."""
+
+    @abc.abstractmethod
+    def compact(self, stream: str) -> CompactionReport:
+        """Drop superseded/tombstoned/corrupt records from ``stream``."""
+
+    @abc.abstractmethod
+    def stream_stats(self, stream: str) -> StreamStats:
+        """Current :class:`StreamStats` for ``stream``."""
+
+    @abc.abstractmethod
+    def drop(self, stream: str) -> None:
+        """Remove ``stream`` entirely (entries and backing files)."""
+
+    @abc.abstractmethod
+    def refresh(self, stream: str) -> None:
+        """Invalidate any cached index so the next access rescans."""
+
+    # -- conveniences shared by every backend --------------------------
+    def contains(self, stream: str, key: str) -> bool:
+        """Key liveness.  Backends whose payloads may be JSON null must
+        override this to answer from key membership, not read()."""
+        return key in self.list(stream)
+
+    def describe(self) -> str:
+        """Human-readable location, e.g. ``local:.repro_cache/store``."""
+        return f"{self.name}:{self.root}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.root!r})"

@@ -1,0 +1,426 @@
+"""The default artifact store: sharded, append-only, compacting files.
+
+Layout (one directory per stream under the store root)::
+
+    <root>/<stream>/meta.json        # {"schema": 1, "shards": N}
+    <root>/<stream>/shard-03.jsonl   # append-only records
+    <root>/<stream>/shard-03.lock    # flock target (never replaced)
+
+Each record is one JSON line — ``{"schema": 1, "key": ..., "payload":
+...}`` for a put, ``{"schema": 1, "key": ..., "tombstone": true}`` for
+a delete.  A key always lands in the shard named by a prefix of its
+SHA-256 digest (mod the stream's shard count, pinned in ``meta.json``
+so reconfigured stores keep finding old keys), which means last-write-
+wins ordering only ever needs the order *within* one file.
+
+Safety model
+------------
+* **Appends are atomic.**  Every record goes down as exactly one
+  ``os.write`` on an ``O_APPEND`` descriptor while holding the shard's
+  ``flock``; a short write raises :class:`StoreError` instead of
+  leaving a torn prefix.  Concurrent sessions and fork-pool workers
+  therefore interleave whole lines, never fragments.
+* **Reads are index + seek.**  A scan of the shard files builds an
+  in-memory ``key -> (shard, offset, length)`` index; payloads are read
+  back on demand.  If another process compacted a shard underneath us
+  the record at the remembered offset no longer matches its key and the
+  reader rescans once before answering.
+* **Corruption is contained.**  Undecodable lines, foreign schemas and
+  torn tails (a final line with no newline — impossible under the
+  atomic-append rule, so always a crash artifact) are skipped and
+  counted, never served.
+* **Compaction repairs.**  :meth:`LocalShardedStore.compact` rewrites
+  each shard under its lock via write-temp-then-rename, keeping only
+  the winning put per live key (byte-identical lines) and dropping
+  superseded records, tombstones and corrupt lines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .base import (STORAGE_SCHEMA, ArtifactStore, CompactionReport,
+                   StoreError, StreamStats)
+
+DEFAULT_SHARDS = 16
+META_FILE = "meta.json"
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+
+@contextmanager
+def exclusive_lock(path) -> Iterator[None]:
+    """An advisory cross-process lock on ``path`` (no-op without fcntl).
+
+    The lock file itself is never replaced or deleted, so every process
+    flocks the same inode — unlike the shard files, which compaction
+    swaps out via rename.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    fd = os.open(str(path), os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        os.close(fd)  # closing drops the flock
+
+
+def shard_of(key: str, shards: int) -> int:
+    """Deterministic shard id: a prefix of the key's SHA-256 digest."""
+    prefix = hashlib.sha256(key.encode()).hexdigest()[:8]
+    return int(prefix, 16) % shards
+
+
+class _Loc:
+    """Where one live record sits: (shard id, byte offset, byte length)."""
+
+    __slots__ = ("shard", "offset", "length")
+
+    def __init__(self, shard: int, offset: int, length: int) -> None:
+        self.shard = shard
+        self.offset = offset
+        self.length = length
+
+
+class _StreamState:
+    """Index + reclaimable-append counters for one loaded stream."""
+
+    def __init__(self, shards: int) -> None:
+        self.shards = shards
+        self.index: Dict[str, _Loc] = {}
+        self.superseded = 0
+        self.tombstones = 0
+        self.corrupt = 0
+
+
+class LocalShardedStore(ArtifactStore):
+    """Sharded append-only file backend (see module docstring)."""
+
+    name = "local"
+    persistent = True
+    on_disk = True
+
+    def __init__(self, root: str, shards: int = DEFAULT_SHARDS) -> None:
+        super().__init__(root)
+        if shards < 1 or shards > 256:
+            raise ValueError(f"shard count must be in 1..256, "
+                             f"got {shards}")
+        self.default_shards = shards
+        self._states: Dict[str, _StreamState] = {}
+        self._lock = threading.RLock()
+
+    # -- paths ---------------------------------------------------------
+    def stream_dir(self, stream: str) -> Path:
+        if not stream or "/" in stream or stream.startswith("."):
+            raise ValueError(f"bad stream name {stream!r}")
+        return Path(self.root) / stream
+
+    def shard_path(self, stream: str, shard: int) -> Path:
+        return self.stream_dir(stream) / f"shard-{shard:02x}.jsonl"
+
+    def _lock_path(self, stream: str, shard: int) -> Path:
+        return self.stream_dir(stream) / f"shard-{shard:02x}.lock"
+
+    def shard_paths(self, stream: str) -> List[Path]:
+        """Existing shard files, sorted (conformance/corruption hooks)."""
+        return sorted(self.stream_dir(stream).glob("shard-*.jsonl"))
+
+    # -- stream bootstrap ----------------------------------------------
+    def _ensure_dir(self, stream: str, create: bool = False) -> int:
+        """Shard count for ``stream``, creating dir + meta if asked.
+
+        Reads (readers, ``streams()``, stats) never create directories;
+        the first append pins the configured shard count in
+        ``meta.json`` so later reconfiguration can't re-home keys.
+        """
+        sdir = self.stream_dir(stream)
+        meta = sdir / META_FILE
+        if meta.exists():
+            try:
+                return int(json.loads(meta.read_text())["shards"])
+            except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+                return self.default_shards  # damaged meta: best effort
+        if not create:
+            return self.default_shards
+        sdir.mkdir(parents=True, exist_ok=True)
+        tmp = sdir / f"{META_FILE}.tmp.{os.getpid()}"
+        tmp.write_text(json.dumps(
+            {"schema": STORAGE_SCHEMA, "shards": self.default_shards}))
+        os.replace(tmp, meta)  # racing creators write identical content
+        return self.default_shards
+
+    def _state(self, stream: str) -> _StreamState:
+        state = self._states.get(stream)
+        if state is None:
+            state = self._scan(stream)
+            self._states[stream] = state
+        return state
+
+    # -- scanning ------------------------------------------------------
+    def _scan(self, stream: str) -> _StreamState:
+        state = _StreamState(self._ensure_dir(stream))
+        for path in self.shard_paths(stream):
+            try:
+                shard = int(path.stem.split("-", 1)[1], 16)
+            except (IndexError, ValueError):
+                continue  # foreign file; never written by us
+            self._scan_shard(state, path, shard)
+        return state
+
+    def _scan_shard(self, state: _StreamState, path: Path,
+                    shard: int) -> None:
+        data = path.read_bytes()
+        offset = 0
+        total = len(data)
+        while offset < total:
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                state.corrupt += 1  # torn tail from a mid-line crash
+                break
+            raw = data[offset:newline]
+            length = newline + 1 - offset
+            self._scan_line(state, raw, shard, offset, length)
+            offset = newline + 1
+
+    def _scan_line(self, state: _StreamState, raw: bytes, shard: int,
+                   offset: int, length: int) -> None:
+        record = decode_record(raw)
+        if record is None:
+            if raw.strip():  # blank lines are noise, not corruption
+                state.corrupt += 1
+            return
+        key = record["key"]
+        if record.get("tombstone"):
+            if state.index.pop(key, None) is not None:
+                state.superseded += 1  # the put this tombstone shadows
+            state.tombstones += 1
+            return
+        if key in state.index:
+            state.superseded += 1
+        state.index[key] = _Loc(shard, offset, length)
+
+    # -- the stream contract -------------------------------------------
+    def open(self, stream: str) -> StreamStats:
+        with self._lock:
+            self._state(stream)
+        return self.stream_stats(stream)
+
+    def append(self, stream: str, key: str, payload: Any) -> None:
+        record = {"schema": STORAGE_SCHEMA, "key": key,
+                  "payload": payload}
+        self._append_record(stream, key, record, live=True)
+
+    def delete(self, stream: str, key: str) -> bool:
+        with self._lock:
+            if key not in self._state(stream).index:
+                return False  # deleting a missing key appends nothing
+            record = {"schema": STORAGE_SCHEMA, "key": key,
+                      "tombstone": True}
+            self._append_record(stream, key, record, live=False)
+        return True
+
+    def _append_record(self, stream: str, key: str, record: dict,
+                       live: bool) -> None:
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        data = line.encode()
+        if b"\n" in data[:-1]:
+            raise StoreError(f"payload for {key!r} encodes to multiple "
+                             f"lines; not appendable")
+        with self._lock:
+            state = self._state(stream)
+            # the first append pins the shard count; later appends
+            # follow whatever meta.json pinned, even if another process
+            # created it with a different configuration
+            state.shards = self._ensure_dir(stream, create=True)
+            shard = shard_of(key, state.shards)
+            path = self.shard_path(stream, shard)
+            with exclusive_lock(self._lock_path(stream, shard)):
+                fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND,
+                             0o644)
+                try:
+                    size = os.fstat(fd).st_size
+                    # a crash can leave the shard without its trailing
+                    # newline; heal it here or the new record would fuse
+                    # with the torn fragment into one corrupt line
+                    record_len = len(data)
+                    if size and os.pread(fd, 1, size - 1) != b"\n":
+                        data = b"\n" + data
+                    offset = size + len(data) - record_len
+                    written = os.write(fd, data)
+                finally:
+                    os.close(fd)
+            if written != len(data):
+                raise StoreError(
+                    f"torn append on {path}: wrote {written} of "
+                    f"{len(data)} bytes for key {key!r}")
+            old = state.index.pop(key, None)
+            if old is not None:
+                state.superseded += 1
+            if live:
+                state.index[key] = _Loc(shard, offset, record_len)
+            else:
+                state.tombstones += 1
+
+    def read(self, stream: str, key: str) -> Optional[Any]:
+        with self._lock:
+            for attempt in range(2):
+                state = self._state(stream)
+                loc = state.index.get(key)
+                if loc is None:
+                    return None
+                record = self._record_at(stream, loc)
+                if (record is not None and record["key"] == key
+                        and not record.get("tombstone")):
+                    return record["payload"]
+                # another process compacted this shard: offsets moved
+                self._states.pop(stream, None)
+        raise StoreError(f"index for stream {stream!r} is unstable; "
+                         f"key {key!r} moved during both read attempts")
+
+    def _record_at(self, stream: str, loc: _Loc) -> Optional[dict]:
+        path = self.shard_path(stream, loc.shard)
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(loc.offset)
+                raw = handle.read(loc.length)
+        except OSError:
+            return None
+        if not raw.endswith(b"\n"):
+            return None
+        return decode_record(raw[:-1])
+
+    def list(self, stream: str) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._state(stream).index))
+
+    def contains(self, stream: str, key: str) -> bool:
+        with self._lock:
+            return key in self._state(stream).index
+
+    def streams(self) -> Tuple[str, ...]:
+        root = Path(self.root)
+        if not root.is_dir():
+            return ()
+        found = []
+        for child in root.iterdir():
+            if child.is_dir() and ((child / META_FILE).exists()
+                                   or list(child.glob("shard-*.jsonl"))):
+                found.append(child.name)
+        return tuple(sorted(found))
+
+    def compact(self, stream: str) -> CompactionReport:
+        kept = superseded = tombstones = corrupt = 0
+        with self._lock:
+            state = self._state(stream)
+            for shard in range(state.shards):
+                path = self.shard_path(stream, shard)
+                if not path.exists():
+                    continue
+                with exclusive_lock(self._lock_path(stream, shard)):
+                    k, s, t, c = self._compact_shard(path)
+                kept += k
+                superseded += s
+                tombstones += t
+                corrupt += c
+            self._states.pop(stream, None)  # offsets moved: rescan
+            self._state(stream)
+        return CompactionReport(stream=stream, kept=kept,
+                                dropped_superseded=superseded,
+                                dropped_tombstones=tombstones,
+                                dropped_corrupt=corrupt)
+
+    @staticmethod
+    def _compact_shard(path: Path) -> Tuple[int, int, int, int]:
+        """Rewrite one shard keeping only winning puts (byte-identical).
+
+        Caller holds the shard lock.  Returns (kept, superseded,
+        tombstones, corrupt) line counts.
+        """
+        superseded = tombstones = corrupt = 0
+        live: "Dict[str, bytes]" = {}
+        data = path.read_bytes()
+        offset = 0
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                corrupt += 1  # torn tail
+                break
+            raw = data[offset:newline]
+            offset = newline + 1
+            record = decode_record(raw)
+            if record is None:
+                if raw.strip():
+                    corrupt += 1
+                continue
+            key = record["key"]
+            if record.get("tombstone"):
+                if live.pop(key, None) is not None:
+                    superseded += 1
+                tombstones += 1
+                continue
+            if live.pop(key, None) is not None:
+                superseded += 1
+            live[key] = raw  # re-insert: file keeps last-write order
+        if not live:
+            path.unlink()
+            return 0, superseded, tombstones, corrupt
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        with open(tmp, "wb") as handle:
+            handle.write(b"".join(raw + b"\n" for raw in live.values()))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return len(live), superseded, tombstones, corrupt
+
+    def stream_stats(self, stream: str) -> StreamStats:
+        with self._lock:
+            state = self._state(stream)
+            paths = self.shard_paths(stream)
+            size = sum(p.stat().st_size for p in paths if p.exists())
+            return StreamStats(entries=len(state.index),
+                               superseded=state.superseded,
+                               tombstones=state.tombstones,
+                               corrupt=state.corrupt,
+                               shards=len(paths), bytes=size)
+
+    def drop(self, stream: str) -> None:
+        with self._lock:
+            self._states.pop(stream, None)
+            sdir = self.stream_dir(stream)
+            if sdir.exists():
+                shutil.rmtree(sdir)
+
+    def refresh(self, stream: str) -> None:
+        with self._lock:
+            self._states.pop(stream, None)
+
+
+def decode_record(raw: bytes) -> Optional[dict]:
+    """Parse one stored line; None for corrupt/foreign lines.
+
+    A valid record is a JSON object with our schema version, a string
+    key, and either a payload or a tombstone marker.
+    """
+    try:
+        record = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if (not isinstance(record, dict)
+            or record.get("schema") != STORAGE_SCHEMA
+            or not isinstance(record.get("key"), str)):
+        return None
+    if not record.get("tombstone") and "payload" not in record:
+        return None
+    return record

@@ -1,0 +1,58 @@
+"""The artifact-store backend registry (the PR-4 registry pattern).
+
+``STORE_BACKENDS`` maps backend names to factories
+``(root: str) -> ArtifactStore``.  The evaluation result store and the
+persistent corpus cache both resolve their backend here, so a remote /
+object-store backend registers exactly the way compilers and retrieval
+methods do — one ``STORE_BACKENDS.register(...)`` call — and is
+immediately driven by the same conformance suite
+(``tests/test_artifact_store_conformance.py``).
+
+Environment switches
+--------------------
+``REPRO_STORE_BACKEND``  backend name (default ``local``)
+``REPRO_STORE_SHARDS``   shard count for the local backend (default 16;
+                         pinned per stream in ``meta.json`` on first
+                         create, so changing it later is safe)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..registry import Registry
+from .base import ArtifactStore
+from .local import DEFAULT_SHARDS, LocalShardedStore
+from .memory import InMemoryStore
+
+ENV_STORE_BACKEND = "REPRO_STORE_BACKEND"
+ENV_STORE_SHARDS = "REPRO_STORE_SHARDS"
+DEFAULT_BACKEND = "local"
+
+STORE_BACKENDS = Registry("artifact store backend")
+
+
+@STORE_BACKENDS.register_as("local")
+def _local_backend(root: str) -> LocalShardedStore:
+    shards = int(os.environ.get(ENV_STORE_SHARDS) or DEFAULT_SHARDS)
+    return LocalShardedStore(root, shards=shards)
+
+
+@STORE_BACKENDS.register_as("memory")
+def _memory_backend(root: str) -> InMemoryStore:
+    return InMemoryStore(root)
+
+
+def backend_name() -> str:
+    """The configured backend name (``REPRO_STORE_BACKEND`` or local)."""
+    return os.environ.get(ENV_STORE_BACKEND) or DEFAULT_BACKEND
+
+
+def open_store(root, backend: Optional[str] = None) -> ArtifactStore:
+    """Instantiate the named (or configured) backend over ``root``.
+
+    Unknown names raise :class:`repro.registry.UnknownComponentError`
+    listing every registered backend.
+    """
+    return STORE_BACKENDS.get(backend or backend_name())(str(root))

@@ -6,7 +6,8 @@ from .dataset import (DATASET_PARAMS, DEFAULT_DATASET_SIZE, Dataset,
                       dataset_signature, transformation_kinds)
 from .generator import ExampleSynthesizer, SynthesisError
 from .parameters import NAME_LIST, SIZE_LIST, LoopParameters
-from .store import load_dataset, save_dataset
+from .store import (dataset_from_payload, dataset_to_payload,
+                    load_dataset, save_dataset)
 
 __all__ = [
     "ColaGenSynthesizer",
@@ -15,5 +16,6 @@ __all__ = [
     "transformation_kinds",
     "ExampleSynthesizer", "SynthesisError",
     "NAME_LIST", "SIZE_LIST", "LoopParameters",
+    "dataset_from_payload", "dataset_to_payload",
     "load_dataset", "save_dataset",
 ]

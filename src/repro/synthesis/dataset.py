@@ -108,57 +108,77 @@ def build_dataset(size: int = DEFAULT_DATASET_SIZE, seed: int = 0,
 _DATASET_CACHE = {}
 
 
-def _dataset_cache_file(size: int, seed: int, generator: str):
-    """Path of the persisted corpus (inside the shared cache dir).
+#: artifact-store stream holding persisted corpora (the result store's
+#: sibling in the same `<cache-dir>/store/`; see `repro.storage`)
+DATASETS_STREAM = "datasets"
 
-    The file name embeds :func:`dataset_signature`, so any edit to a
-    corpus-determining module changes the name — stale corpora are
-    simply never found again (``make clean-cache`` reclaims them).
+
+def _dataset_cache_key(size: int, seed: int, generator: str) -> str:
+    """Stream key of the persisted corpus.
+
+    The key embeds :func:`dataset_signature`, so any edit to a
+    corpus-determining module changes the key — stale corpora are
+    simply never found again (``make clean-cache`` reclaims them, and
+    ``repro store compact`` drops superseded ones).
     """
+    sig = dataset_signature(size, seed, generator)
+    return f"{generator}-n{size}-s{seed}-{sig}"
+
+
+def _legacy_cache_file(size: int, seed: int, generator: str):
+    """The pre-sharding per-corpus JSON file (migration source)."""
     from ..evaluation.store import cache_dir
 
-    sig = dataset_signature(size, seed, generator)
-    return (cache_dir() / "datasets"
-            / f"{generator}-n{size}-s{seed}-{sig}.json")
+    key = _dataset_cache_key(size, seed, generator)
+    return cache_dir() / "datasets" / f"{key}.json"
 
 
 def _load_persistent(size: int, seed: int, generator: str):
-    from ..evaluation.store import store_enabled
+    from ..evaluation.store import active_artifacts
 
-    if not store_enabled():
+    store = active_artifacts()
+    if store is None:
         return None
-    path = _dataset_cache_file(size, seed, generator)
-    if not path.exists():
+    from .store import dataset_from_payload
+
+    key = _dataset_cache_key(size, seed, generator)
+    payload = store.read(DATASETS_STREAM, key)
+    if payload is not None:
+        try:
+            return dataset_from_payload(payload)
+        except Exception:
+            return None  # foreign/damaged payload: rebuild and rewrite
+    # transparent migration: absorb a pre-sharding per-corpus file
+    legacy = _legacy_cache_file(size, seed, generator)
+    if not legacy.exists():
         return None
-    from .store import load_dataset
+    import json
 
     try:
-        return load_dataset(str(path))
+        with open(legacy) as handle:
+            payload = json.load(handle)
+        dataset = dataset_from_payload(payload)
     except Exception:
         return None  # corrupt/truncated file: rebuild and rewrite
+    store.append(DATASETS_STREAM, key, payload)
+    return dataset
 
 
 def _store_persistent(dataset: Dataset, size: int, seed: int,
                       generator: str) -> None:
-    import os
+    from ..evaluation.store import active_artifacts
 
-    from ..evaluation.store import store_enabled
-
-    if not store_enabled():
+    store = active_artifacts()
+    if store is None:
         return
-    from .store import save_dataset
+    from .store import dataset_to_payload
 
-    path = _dataset_cache_file(size, seed, generator)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    # write-then-rename: concurrent processes racing on a cold cache
-    # each publish a complete file instead of interleaving fragments
-    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-    try:
-        save_dataset(dataset, str(tmp))
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():
-            tmp.unlink()
+    # one atomic append: concurrent processes racing on a cold cache
+    # each publish a complete record (last write wins) instead of
+    # interleaving fragments
+    store.append(DATASETS_STREAM,
+                 _dataset_cache_key(size, seed, generator),
+                 dataset_to_payload(dataset))
 
 
 def cached_dataset(size: int = DEFAULT_DATASET_SIZE, seed: int = 0,
@@ -166,12 +186,16 @@ def cached_dataset(size: int = DEFAULT_DATASET_SIZE, seed: int = 0,
     """Memoized :func:`build_dataset` with an on-disk layer.
 
     Corpora are cached at two levels: in-process (experiments share
-    corpora) and persistently under ``<cache-dir>/datasets/`` keyed by
+    corpora) and persistently in the ``"datasets"`` stream of the
+    shared artifact store (``<cache-dir>/store/``) keyed by
     :func:`dataset_signature` — the ~tens-of-seconds synthesis +
     PLuTo-optimization build is paid once per machine, not once per
-    process.  ``REPRO_CACHE_DIR`` moves the directory and
-    ``REPRO_NO_CACHE`` disables the disk layer, exactly like the result
-    store.  Loaded corpora are bit-identical to built ones (exact
+    process.  ``REPRO_CACHE_DIR`` moves the store,
+    ``REPRO_STORE_BACKEND`` swaps its backend, and ``REPRO_NO_CACHE``
+    disables the disk layer, exactly like the result store; corpora
+    persisted by the pre-sharding layout (``<cache-dir>/datasets/``)
+    are absorbed on first load.  Loaded corpora are bit-identical to
+    built ones (exact
     indexed texts and properties are stored — see
     ``synthesis.store``), so retrieval ranks and demonstrations don't
     depend on which level served the corpus.

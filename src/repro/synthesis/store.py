@@ -19,10 +19,13 @@ indexed texts (``example_text`` / ``optimized_text``) and the extracted
 therefore *bit-identical* to the built one — same fingerprints, same
 retrieval ranks, same demonstration prompts — without re-running PLuTo,
 recipe replay or property extraction.  This is what lets
-``cached_dataset`` persist corpora across processes
-(``.repro_cache/datasets/``).  Format-1 files still load through the
-legacy parse-and-replay path; their texts and properties are
-recomputed.
+``cached_dataset`` persist corpora across processes: the document built
+by :func:`dataset_to_payload` is appended to the ``"datasets"`` stream
+of the shared artifact store (``.repro_cache/store/datasets/``; see
+:mod:`repro.storage`), with pre-sharding ``.repro_cache/datasets/*.json``
+files absorbed transparently on first load.  Format-1 files still load
+through the legacy parse-and-replay path; their texts and properties
+are recomputed.
 """
 
 from __future__ import annotations
@@ -91,9 +94,15 @@ def _properties_from_json(data: Dict[str, Any]) -> LoopProperties:
     )
 
 
-def save_dataset(dataset: Dataset, path: str) -> None:
-    """Write a dataset to ``path`` as JSON."""
-    payload = {
+def dataset_to_payload(dataset: Dataset) -> Dict[str, Any]:
+    """The format-2 JSON document for ``dataset``.
+
+    This is both what :func:`save_dataset` writes to standalone files
+    and what the persistent corpus cache appends to the ``"datasets"``
+    stream of the shared artifact store — one payload format, two
+    transports.
+    """
+    return {
         "format": FORMAT_VERSION,
         "generator": dataset.generator,
         "seed": dataset.seed,
@@ -111,14 +120,23 @@ def save_dataset(dataset: Dataset, path: str) -> None:
             for entry in dataset
         ],
     }
+
+
+def save_dataset(dataset: Dataset, path: str) -> None:
+    """Write a dataset to ``path`` as JSON."""
     with open(path, "w") as handle:
-        json.dump(payload, handle, indent=1)
+        json.dump(dataset_to_payload(dataset), handle, indent=1)
 
 
 def load_dataset(path: str) -> Dataset:
     """Load a dataset written by :func:`save_dataset`."""
     with open(path) as handle:
         payload = json.load(handle)
+    return dataset_from_payload(payload)
+
+
+def dataset_from_payload(payload: Dict[str, Any]) -> Dataset:
+    """Rebuild a :class:`Dataset` from its JSON document (both formats)."""
     if payload.get("format") not in _READABLE_FORMATS:
         raise ValueError(
             f"unsupported dataset format {payload.get('format')!r}")

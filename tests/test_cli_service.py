@@ -100,3 +100,84 @@ class TestServeBatch:
         batch.write_text(json.dumps({"requests": [{"tag": "x"}]}))
         with pytest.raises(SystemExit, match="source"):
             main(["serve-batch", str(batch)])
+
+
+class TestStoreMaintenance:
+    """``repro store stats`` / ``repro store compact``."""
+
+    @pytest.fixture()
+    def populated_cache(self, tmp_path, monkeypatch):
+        from repro.evaluation import store as store_mod
+        from repro.evaluation.store import ResultStore
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        store_mod._STORES.clear()
+        store = ResultStore(tmp_path)
+        store.put(("a",), [{"v": 1}])
+        store.put(("a",), [{"v": 2}])  # superseded duplicate
+        store.put(("b",), [{"v": 3}])
+        yield tmp_path
+        store_mod._STORES.clear()
+
+    def test_stats_json(self, populated_cache, capsys):
+        assert main(["store", "stats", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["backend"] == "local"
+        results = doc["streams"]["results"]
+        assert results["entries"] == 2
+        assert results["superseded"] == 1
+        assert results["corrupt"] == 0
+
+    def test_stats_table(self, populated_cache, capsys):
+        main(["store", "stats"])
+        out = capsys.readouterr().out
+        assert "# store: local:" in out
+        assert "results" in out and "superseded" in out
+
+    def test_compact_then_stats_clean(self, populated_cache, capsys):
+        assert main(["store", "compact", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        [report] = doc["compacted"]
+        assert report["stream"] == "results"
+        assert report["kept"] == 2
+        assert report["dropped_superseded"] == 1
+
+        main(["store", "stats", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["streams"]["results"]["superseded"] == 0
+
+    def test_explicit_cache_dir_and_backend(self, tmp_path, capsys):
+        main(["store", "stats", "--cache-dir", str(tmp_path / "empty"),
+              "--backend", "memory", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["backend"] == "memory"
+        assert doc["streams"] == {}
+
+    def test_maintenance_ignores_no_cache(self, populated_cache,
+                                          monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        main(["store", "stats", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["streams"]["results"]["entries"] == 2
+
+
+class TestBenchCacheSummary:
+    def test_superseded_and_corrupt_surface_in_summary(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.evaluation import harness
+        from repro.evaluation import store as store_mod
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        harness._RUN_CACHE.clear()
+        store_mod._STORES.clear()
+        try:
+            main(["bench", "--suite", "polybench", "--system",
+                  "graphite", "--limit", "2"])
+            err = capsys.readouterr().err
+            assert "# cache:" in err
+            assert "superseded" in err and "corrupt" in err
+            assert "local:" in err  # store.describe() names the backend
+        finally:
+            harness._RUN_CACHE.clear()
+            store_mod._STORES.clear()

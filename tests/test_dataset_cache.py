@@ -1,19 +1,26 @@
 """Persistent corpus cache: build -> persist -> reload, bit-identically.
 
-`cached_dataset` keeps corpora on disk under `<cache-dir>/datasets/`
-keyed by `dataset_signature()`; a corpus served from disk must be
+`cached_dataset` keeps corpora in the ``"datasets"`` stream of the
+shared artifact store (`<cache-dir>/store/`) keyed by
+`dataset_signature()`; a corpus served from the store must be
 indistinguishable from a freshly built one — same signature, same
 indexed texts, same properties, and bit-identical retrieval ranks.
+Pre-sharding per-corpus files (`<cache-dir>/datasets/*.json`) are
+absorbed transparently on first load.
 """
 
 import json
+import os
 
 import pytest
 
 import repro.synthesis.dataset as dataset_mod
+from repro.evaluation import store as result_store_mod
+from repro.evaluation.store import active_artifacts
 from repro.ir import parse_scop
 from repro.retrieval import Retriever
-from repro.synthesis import cached_dataset, dataset_signature
+from repro.synthesis import cached_dataset, dataset_signature, save_dataset
+from repro.synthesis.dataset import DATASETS_STREAM, _dataset_cache_key
 
 SIZE, SEED = 10, 31
 
@@ -22,8 +29,26 @@ SIZE, SEED = 10, 31
 def isolated_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    # every scenario here is backend-agnostic: inherit an ambient
+    # REPRO_STORE_BACKEND (the CI store-stress matrix sets it)
+    monkeypatch.setenv("REPRO_STORE_BACKEND",
+                       os.environ.get("REPRO_STORE_BACKEND") or "local")
     monkeypatch.setattr(dataset_mod, "_DATASET_CACHE", {})
-    return tmp_path
+    result_store_mod._STORES.clear()
+    yield tmp_path
+    result_store_mod._STORES.clear()
+
+
+def forget_memory():
+    """Simulate a new process: drop both in-memory layers."""
+    dataset_mod._DATASET_CACHE.clear()
+    result_store_mod._STORES.clear()
+
+
+def refuse_build(monkeypatch):
+    monkeypatch.setattr(
+        dataset_mod, "build_dataset",
+        lambda *a, **k: pytest.fail("should load from the store"))
 
 
 PROBE = """
@@ -51,17 +76,12 @@ class TestPersistentCache:
     def test_build_persists_then_reloads(self, isolated_cache,
                                          monkeypatch):
         built = cached_dataset(SIZE, SEED)
-        files = list((isolated_cache / "datasets").glob("*.json"))
-        assert len(files) == 1
-        assert dataset_signature(SIZE, SEED) in files[0].name
+        [key] = active_artifacts().list(DATASETS_STREAM)
+        assert dataset_signature(SIZE, SEED) in key
 
-        calls = []
-        monkeypatch.setattr(dataset_mod, "build_dataset",
-                            lambda *a, **k: calls.append(a) or
-                            pytest.fail("should load from disk"))
-        monkeypatch.setattr(dataset_mod, "_DATASET_CACHE", {})
+        forget_memory()
+        refuse_build(monkeypatch)
         loaded = cached_dataset(SIZE, SEED)
-        assert not calls
         assert len(loaded) == len(built)
         assert loaded.generator == built.generator
         assert loaded.seed == built.seed
@@ -77,7 +97,7 @@ class TestPersistentCache:
 
     def test_retrieval_ranks_bit_identical(self, isolated_cache):
         built = cached_dataset(SIZE, SEED)
-        dataset_mod._DATASET_CACHE.clear()
+        forget_memory()
         loaded = cached_dataset(SIZE, SEED)
         assert built is not loaded
         assert ranks(built) == ranks(loaded)
@@ -89,17 +109,42 @@ class TestPersistentCache:
                                           monkeypatch):
         monkeypatch.setenv("REPRO_NO_CACHE", "1")
         cached_dataset(SIZE, SEED)
+        assert not (isolated_cache / "store").exists()
         assert not list(isolated_cache.glob("datasets/*.json"))
 
-    def test_corrupt_file_rebuilds(self, isolated_cache):
+    def test_corrupt_payload_rebuilds(self, isolated_cache):
         cached_dataset(SIZE, SEED)
-        [path] = (isolated_cache / "datasets").glob("*.json")
-        path.write_text("{ truncated garbage")
-        dataset_mod._DATASET_CACHE.clear()
+        key = _dataset_cache_key(SIZE, SEED, "looprag")
+        active_artifacts().append(DATASETS_STREAM, key,
+                                  {"format": -1, "entries": "garbage"})
+        forget_memory()
         rebuilt = cached_dataset(SIZE, SEED)
         assert len(rebuilt) == SIZE
-        # the rebuild rewrote a valid file
-        [path] = (isolated_cache / "datasets").glob("*.json")
-        payload = json.loads(path.read_text())
+        # the rebuild republished a valid payload over the bad one
+        payload = active_artifacts().read(DATASETS_STREAM, key)
         assert payload["format"] == 2
         assert len(payload["entries"]) == SIZE
+        stats = active_artifacts().stream_stats(DATASETS_STREAM)
+        assert stats.superseded == 2  # bad overwrite + rebuild
+
+    def test_legacy_corpus_file_absorbed(self, isolated_cache,
+                                         monkeypatch):
+        """A pre-sharding `<cache>/datasets/<key>.json` corpus loads
+        without a rebuild and lands in the datasets stream."""
+        built = cached_dataset(SIZE, SEED)
+        key = _dataset_cache_key(SIZE, SEED, "looprag")
+        legacy_dir = isolated_cache / "datasets"
+        legacy_dir.mkdir()
+        save_dataset(built, legacy_dir / f"{key}.json")
+        active_artifacts().drop(DATASETS_STREAM)
+
+        forget_memory()
+        refuse_build(monkeypatch)
+        loaded = cached_dataset(SIZE, SEED)
+        assert ranks(loaded) == ranks(built)
+        assert active_artifacts().contains(DATASETS_STREAM, key)
+        # absorbed payload round-trips through the store byte-identically
+        stored = active_artifacts().read(DATASETS_STREAM, key)
+        on_disk = json.loads((legacy_dir / f"{key}.json").read_text())
+        assert json.dumps(stored, sort_keys=True) == \
+            json.dumps(on_disk, sort_keys=True)

@@ -1,12 +1,18 @@
 """Persistent result store + parallel runner tests.
 
-Covers the PR-1 harness rebuild: warm-cache hits return identical
-``BenchResult`` lists, ``REPRO_NO_CACHE`` bypasses the store, corrupt
-and stale entries are ignored, and parallel runs are identical to
-serial ones on a ``REPRO_SUITE_LIMIT=3`` sweep.
+Covers the PR-1 harness rebuild on its PR-6 storage rebase: warm-cache
+hits return identical ``BenchResult`` lists through the sharded
+artifact store, ``REPRO_NO_CACHE`` bypasses the store, corrupt and
+superseded lines are counted separately, pre-sharding ``results.jsonl``
+files migrate transparently with byte-identical warm hits, torn shard
+tails are skipped and repaired by compaction, concurrent-process
+appends never tear, and parallel runs are identical to serial ones on a
+``REPRO_SUITE_LIMIT=3`` sweep.
 """
 
 import json
+import multiprocessing
+import os
 
 import pytest
 
@@ -16,9 +22,11 @@ from repro.evaluation.harness import (base_llm_plan, compiler_plan,
                                       looprag_plan, run_compiler,
                                       run_plans)
 from repro.evaluation.parallel import map_items, resolve_pool
-from repro.evaluation.store import (SCHEMA_VERSION, ResultStore,
+from repro.evaluation.store import (RESULTS_STREAM, ResultStore,
                                     active_store, encode_key)
 from repro.llm.personas import DEEPSEEK_V3, GPT_4O
+from repro.registry import UnknownComponentError
+from repro.storage import STORAGE_SCHEMA
 
 
 @pytest.fixture
@@ -26,6 +34,10 @@ def fresh_harness(monkeypatch, tmp_path):
     """Empty store in a tmp dir + cleared in-memory caches."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    # inherit an ambient REPRO_STORE_BACKEND (the CI store-stress matrix
+    # sets it); default to the sharded on-disk backend
+    monkeypatch.setenv("REPRO_STORE_BACKEND",
+                       os.environ.get("REPRO_STORE_BACKEND") or "local")
     monkeypatch.setenv("REPRO_SUITE_LIMIT", "3")
     harness._RUN_CACHE.clear()
     harness._RUNNER_CACHE.clear()
@@ -41,6 +53,21 @@ def _forget_memory():
     harness._RUN_CACHE.clear()
     harness._RUNNER_CACHE.clear()
     store_module._STORES.clear()
+
+
+def require_on_disk(store: ResultStore) -> None:
+    """Skip scenarios that hand-edit shard files or cross processes
+    when the configured backend keeps entries in memory."""
+    if not store.artifacts().on_disk:
+        pytest.skip("scenario needs the on-disk sharded backend")
+
+
+def shard_files(store: ResultStore):
+    """Non-empty shard files behind the results stream."""
+    require_on_disk(store)
+    return [path for path in
+            store.artifacts().shard_paths(RESULTS_STREAM)
+            if path.stat().st_size]
 
 
 class TestResultStore:
@@ -59,36 +86,220 @@ class TestResultStore:
         store = ResultStore(tmp_path)
         store.put(("k",), [{"a": 1}])
         store.put(("k",), [{"a": 2}])
-        assert ResultStore(tmp_path).get(("k",)) == [{"a": 2}]
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.get(("k",)) == [{"a": 2}]
+        assert reloaded.stats()["superseded"] == 1
 
     def test_corrupt_lines_ignored(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put(("good",), [{"a": 1}])
-        with open(store.path, "a") as handle:
+        [shard] = shard_files(store)
+        with open(shard, "a") as handle:
             handle.write("{not json\n")
-            handle.write('{"schema": 999, "key": "x", "results": []}\n')
+            handle.write('{"schema": 999, "key": "x", "payload": []}\n')
             handle.write('{"missing": "fields"}\n')
         reloaded = ResultStore(tmp_path)
         assert reloaded.get(("good",)) == [{"a": 1}]
         assert reloaded.stats()["corrupt"] == 3
 
-    def test_schema_version_stamped(self, tmp_path):
+    def test_superseded_and_corrupt_counted_separately(self, tmp_path):
+        """Duplicates no longer vanish into the corrupt bucket."""
+        store = ResultStore(tmp_path)
+        store.put(("dup",), [{"v": 1}])
+        store.put(("dup",), [{"v": 2}])
+        [shard] = shard_files(store)
+        with open(shard, "a") as handle:
+            handle.write("garbage\n")
+        stats = ResultStore(tmp_path).stats()
+        assert stats["superseded"] == 1
+        assert stats["corrupt"] == 1
+        assert stats["entries"] == 1
+
+    def test_record_schema_stamped(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put(("k",), [])
-        record = json.loads(store.path.read_text())
-        assert record["schema"] == SCHEMA_VERSION
+        [shard] = shard_files(store)
+        record = json.loads(shard.read_text())
+        assert record["schema"] == STORAGE_SCHEMA
         assert record["key"] == encode_key(("k",))
+        assert record["payload"] == []
 
     def test_clear(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put(("k",), [{"a": 1}])
         store.clear()
-        assert not store.path.exists()
+        assert not shard_files(store)
         assert store.get(("k",)) is None
+
+    def test_compact_reclaims_duplicates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for i in range(5):
+            store.put(("k",), [{"round": i}])
+        report = store.compact()
+        assert report.dropped_superseded == 4
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(("k",)) == [{"round": 4}]
+        assert fresh.stats()["superseded"] == 0
 
     def test_no_cache_disables_store(self, monkeypatch):
         monkeypatch.setenv("REPRO_NO_CACHE", "1")
         assert active_store() is None
+
+    def test_memory_backend(self, tmp_path):
+        store = ResultStore(tmp_path, backend="memory")
+        store.put(("k",), [{"a": 1}])
+        assert store.get(("k",)) == [{"a": 1}]
+        assert not (tmp_path / "store").exists()  # nothing on disk
+        # per-root world: a second instance over the same root sees it
+        assert ResultStore(tmp_path, backend="memory").get(
+            ("k",)) == [{"a": 1}]
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        store = ResultStore(tmp_path, backend="s3-someday")
+        with pytest.raises(UnknownComponentError, match="local"):
+            store.get(("k",))
+
+
+class TestMigration:
+    """Pre-sharding ``results.jsonl`` stores absorb transparently."""
+
+    LEGACY = [
+        {"schema": 1, "key": encode_key(("a",)), "results": [{"v": 1}]},
+        {"schema": 1, "key": encode_key(("b",)),
+         "results": [{"v": 2, "f": 1.5, "n": None}]},
+        {"schema": 1, "key": encode_key(("a",)), "results": [{"v": 3}]},
+    ]
+
+    def _write_legacy(self, root):
+        root.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps(rec, separators=(",", ":"))
+                 for rec in self.LEGACY]
+        lines.insert(1, "{torn garbag")  # old stores tolerated these
+        (root / "results.jsonl").write_text("\n".join(lines) + "\n")
+
+    def test_absorbs_legacy_file_on_first_open(self, tmp_path):
+        self._write_legacy(tmp_path)
+        store = ResultStore(tmp_path)
+        require_on_disk(store)  # the rename marks on-disk migrations
+        assert store.get(("a",)) == [{"v": 3}]  # last write won
+        assert store.get(("b",)) == [{"v": 2, "f": 1.5, "n": None}]
+        assert store.migrated == 3
+        assert not (tmp_path / "results.jsonl").exists()
+        assert (tmp_path / "results.jsonl.migrated").exists()
+
+    def test_payloads_byte_identical_through_migration(self, tmp_path):
+        self._write_legacy(tmp_path)
+        store = ResultStore(tmp_path)
+        for record in self.LEGACY:
+            expected = json.dumps(record["results"],
+                                  separators=(",", ":"))
+            if record["key"] == encode_key(("a",)) and \
+                    record["results"] == [{"v": 1}]:
+                continue  # superseded by the later write
+            got = store.get(json.loads(record["key"]))
+            assert json.dumps(got, separators=(",", ":")) == expected
+
+    def test_migration_runs_once(self, tmp_path):
+        self._write_legacy(tmp_path)
+        ResultStore(tmp_path).get(("a",))
+        second = ResultStore(tmp_path)
+        assert second.get(("a",)) == [{"v": 3}]
+        assert second.migrated == 0  # nothing left to absorb
+
+    def test_memory_backend_absorbs_but_keeps_file(self, tmp_path):
+        self._write_legacy(tmp_path)
+        store = ResultStore(tmp_path, backend="memory")
+        assert store.get(("a",)) == [{"v": 3}]
+        # the legacy file IS the durable copy for a volatile backend
+        assert (tmp_path / "results.jsonl").exists()
+
+    def test_warm_hit_through_migration_is_identical(self,
+                                                     fresh_harness,
+                                                     monkeypatch,
+                                                     tmp_path_factory):
+        """A store written by the old layout serves byte-identical warm
+        results after migrating to the sharded layout."""
+        require_on_disk(active_store())
+        cold = run_compiler("polybench", "graphite")
+        plan_key = compiler_plan("polybench", "graphite").key()
+        payload = active_store().get(plan_key)
+
+        legacy_dir = tmp_path_factory.mktemp("legacy_cache")
+        record = {"schema": 1, "key": encode_key(plan_key),
+                  "results": payload}
+        (legacy_dir / "results.jsonl").write_text(
+            json.dumps(record, separators=(",", ":")) + "\n")
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(legacy_dir))
+        _forget_memory()
+        warm = run_compiler("polybench", "graphite")
+        assert warm == cold
+        assert active_store().stats()["hits"] == 1
+        assert (legacy_dir / "results.jsonl.migrated").exists()
+
+
+class TestCrashRecovery:
+    """A shard torn mid-line loses one record, never the store."""
+
+    def test_torn_tail_skipped_compacted_and_warm_identical(
+            self, fresh_harness):
+        cold = run_compiler("polybench", "graphite")
+        store = active_store()
+        [shard] = shard_files(store)
+        data = shard.read_bytes()
+        shard.write_bytes(data[:-9])  # crash mid-record
+
+        _forget_memory()
+        recomputed = run_compiler("polybench", "graphite")
+        assert recomputed == cold  # torn entry recomputed, not served
+        stats = active_store().stats()
+        assert stats["corrupt"] == 1
+        assert stats["hits"] == 0
+
+        report = active_store().compact()
+        assert report.dropped_corrupt == 1
+
+        _forget_memory()
+        warm = run_compiler("polybench", "graphite")
+        assert warm == cold
+        stats = active_store().stats()
+        assert stats["hits"] == 1
+        assert stats["corrupt"] == 0  # the shard was repaired
+
+
+def _stress_writer(root, worker, rounds):
+    store = ResultStore(root)
+    for i in range(rounds):
+        store.put(("contested",), [{"worker": worker, "i": i}])
+        store.put(("own", worker, i), [{"ok": True}])
+
+
+class TestAtomicAppends:
+    def test_multiprocess_puts_never_tear(self, tmp_path):
+        """Satellite: the ``put`` lost-update race.  Concurrent
+        processes appending the same key must produce whole lines only
+        — one writer wins, none interleave fragments."""
+        require_on_disk(ResultStore(tmp_path))
+        workers = [multiprocessing.get_context().Process(
+            target=_stress_writer, args=(str(tmp_path), w, 15))
+            for w in range(4)]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join()
+        assert all(proc.exitcode == 0 for proc in workers)
+
+        store = ResultStore(tmp_path)
+        for shard in shard_files(store):
+            data = shard.read_bytes()
+            assert data.endswith(b"\n")
+            for raw in data.splitlines():
+                assert json.loads(raw)["schema"] == STORAGE_SCHEMA
+        stats = store.stats()
+        assert stats["corrupt"] == 0
+        assert stats["entries"] == 1 + 4 * 15
+        [final] = store.get(("contested",))
+        assert final["worker"] in range(4) and final["i"] in range(15)
 
 
 class TestHarnessStore:
@@ -103,12 +314,13 @@ class TestHarnessStore:
         monkeypatch.setenv("REPRO_NO_CACHE", "1")
         run_compiler("polybench", "graphite")
         assert not (fresh_harness / "results.jsonl").exists()
+        assert not (fresh_harness / "store").exists()
 
     def test_corrupt_store_recomputed(self, fresh_harness):
         cold = run_compiler("polybench", "graphite")
-        path = fresh_harness / "results.jsonl"
-        path.write_text(path.read_text().replace('"results":[{',
-                                                 '"results":[{"bad":1,'))
+        [shard] = shard_files(active_store())
+        shard.write_text(shard.read_text().replace('"payload":[{',
+                                                   '"payload":[{"bad":1,'))
         _forget_memory()
         assert run_compiler("polybench", "graphite") == cold
 
