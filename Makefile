@@ -6,7 +6,7 @@ JOBS ?= 4
 
 export PYTHONPATH := src
 
-.PHONY: test test-quick test-reference test-store bench perf clean-cache
+.PHONY: test test-quick test-reference test-store test-serve bench perf clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,19 @@ test-store:
 	    tests/test_storage_property.py \
 	    tests/test_store_parallel.py \
 	    tests/test_dataset_cache.py
+
+# the service daemon and its robustness machinery: cancellation,
+# retry/breaker resilience, fault injection, admission, drain — then
+# the subprocess smoke that boots the real daemon, overloads it,
+# injects faults and SIGTERMs it mid-flight
+test-serve:
+	$(PYTHON) -m pytest -x -q \
+	    tests/test_cancellation.py \
+	    tests/test_resilience.py \
+	    tests/test_faults.py \
+	    tests/test_serve_daemon.py \
+	    tests/test_events_concurrency.py
+	$(PYTHON) scripts/serve_smoke.py
 
 # the executable specifications (scalar interpreter + per-instance
 # dependence walk) must stay green on their own, not just as oracles

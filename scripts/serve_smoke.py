@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the ``repro serve`` daemon (CI gate).
+
+Boots the real daemon as a subprocess with deterministic injected
+faults (``REPRO_FAULTS``), then drives it the way an unlucky operator
+would:
+
+1. a request whose backend fails twice — must be retried to success;
+2. the same request again fault-free — must be byte-identical;
+3. a slow in-flight request plus one past the queue limit — the
+   overflow must get ``503`` + ``Retry-After``, the in-flight request
+   must be untouched;
+4. SIGTERM mid-flight — the in-flight request must still complete,
+   the daemon must drain and exit 0.
+
+Stdlib only; exits non-zero with a readable message on any violation.
+Run directly or via ``make test-serve``.
+"""
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+KERNEL = """
+scop axpyish(N) {
+  array X[N] output;
+  array Y[N];
+  for (i = 0; i < N; i++)
+    X[i] = X[i] + 2.0 * Y[i];
+}
+"""
+
+#: two transient failures early (must be retried away), then injected
+#: slowness from call ~35 on (keeps later requests in flight long
+#: enough to overload the queue and to be mid-flight at SIGTERM);
+#: neither kind may change any result byte
+FAULTS = ("llm.generate:raise:times=2;"
+          "llm.generate:delay:seconds=0.03:after=35:always")
+
+
+def fail(message):
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def step(message):
+    print(f"serve-smoke: {message}", flush=True)
+
+
+def post(addr, body, timeout=120):
+    conn = http.client.HTTPConnection(*addr, timeout=timeout)
+    try:
+        conn.request("POST", "/v1/optimize", json.dumps(body),
+                     {"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return (response.status, response.read().decode(),
+                dict(response.getheaders()))
+    finally:
+        conn.close()
+
+
+def get_json(addr, path, timeout=30):
+    conn = http.client.HTTPConnection(*addr, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def wait_until(predicate, timeout=15.0, message="condition"):
+    end = time.monotonic() + timeout
+    while time.monotonic() < end:
+        if predicate():
+            return
+        time.sleep(0.02)
+    fail(f"timed out waiting for {message}")
+
+
+def main():
+    env = dict(os.environ)
+    env.update({
+        "PYTHONPATH": os.path.join(REPO, "src"),
+        "PYTHONUNBUFFERED": "1",
+        "REPRO_FAULTS": FAULTS,
+        "REPRO_RETRY_BASE": "0.001",
+        "REPRO_NO_CACHE": "1",
+    })
+    step("booting daemon under REPRO_FAULTS="
+         + env["REPRO_FAULTS"])
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
+         "--max-inflight", "1", "--queue-depth", "0",
+         "--session", json.dumps({"dataset_size": 40,
+                                  "llm_backend": "faulty"})],
+        cwd=REPO, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL, text=True)
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", banner)
+        if not match:
+            fail(f"no listening banner, got: {banner!r}")
+        addr = (match.group(1), int(match.group(2)))
+        step(f"daemon up at {addr[0]}:{addr[1]}")
+
+        status, doc = get_json(addr, "/healthz")
+        if status != 200 or doc.get("status") != "ok":
+            fail(f"healthz: {status} {doc}")
+
+        body = {"request": {"source": KERNEL}, "use_store": False}
+
+        # 1. backend fails twice; retries must recover
+        status, faulted, _ = post(addr, body)
+        if status != 200:
+            fail(f"fault-injected request: {status} {faulted[:200]}")
+        if not json.loads(faulted)["result"]["passed"] in (True, False):
+            fail("fault-injected request returned no verdict")
+        step("request under injected faults recovered via retries")
+
+        # 2. fault-free rerun must be byte-identical
+        status, clean, _ = post(addr, body)
+        if status != 200:
+            fail(f"clean request: {status}")
+        if clean != faulted:
+            fail("retried result differs from fault-free result")
+        status, metrics = get_json(addr, "/metrics")
+        if metrics["counters"].get("retries_total", 0) < 2:
+            fail(f"expected >=2 retries, metrics: "
+                 f"{metrics['counters']}")
+        step("retried result byte-identical to clean result "
+             f"({metrics['counters']['retries_total']} retries)")
+
+        # 3. overload: one slow in-flight + one over the queue limit
+        slow = {}
+
+        def run_slow():
+            slow["response"] = post(addr, body)
+
+        worker = threading.Thread(target=run_slow)
+        worker.start()
+        wait_until(
+            lambda: get_json(addr, "/metrics")[1]["gauges"]["inflight"]
+            >= 1, message="slow request to be in flight")
+        status, text, headers = post(addr, body)
+        if status != 503:
+            fail(f"overflow request: expected 503, got {status}")
+        error = json.loads(text)["error"]
+        if error["kind"] != "overloaded" or "Retry-After" not in headers:
+            fail(f"overflow rejection malformed: {error} {headers}")
+        step(f"overflow rejected with 503, Retry-After="
+             f"{headers['Retry-After']}")
+
+        # 4. SIGTERM mid-flight: in-flight completes, daemon drains
+        proc.send_signal(signal.SIGTERM)
+        step("SIGTERM sent mid-flight")
+        worker.join(timeout=120)
+        if worker.is_alive():
+            fail("in-flight request never completed during drain")
+        status, text, _ = slow["response"]
+        if status != 200:
+            fail(f"in-flight request during drain: {status} "
+                 f"{text[:200]}")
+        if text != clean:
+            fail("in-flight drain-time result differs")
+        step("in-flight request completed cleanly during drain")
+
+        code = proc.wait(timeout=60)
+        if code != 0:
+            fail(f"daemon exited {code}, want 0")
+        tail = proc.stdout.read()
+        if "drained cleanly" not in tail:
+            fail(f"missing drain banner in output: {tail!r}")
+        step("daemon drained cleanly and exited 0")
+        print("serve-smoke: OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

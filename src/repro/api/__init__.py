@@ -30,6 +30,11 @@ from .registry import (BASE_COMPILER_REGISTRY, LLM_BACKENDS,
                        STORE_BACKENDS, TRANSFORMS,
                        DuplicateComponentError, Registry,
                        UnknownComponentError)
+from .resilience import (RESILIENCE_BUS, CircuitBreaker,
+                         CircuitOpenError, ResilientCall, RetryPolicy,
+                         breaker_for, breaker_states,
+                         install_resilient_llm,
+                         install_resilient_optimizer, reset_resilience)
 from .session import (OptimizationRequest, OptimizationResult,
                       OptimizerSession)
 
@@ -38,5 +43,9 @@ __all__ = [
     "BASE_COMPILER_REGISTRY", "LLM_BACKENDS", "OPTIMIZER_REGISTRY",
     "RETRIEVAL_METHODS", "STORE_BACKENDS", "TRANSFORMS",
     "DuplicateComponentError", "Registry", "UnknownComponentError",
+    "RESILIENCE_BUS", "CircuitBreaker", "CircuitOpenError",
+    "ResilientCall", "RetryPolicy", "breaker_for", "breaker_states",
+    "install_resilient_llm", "install_resilient_optimizer",
+    "reset_resilience",
     "OptimizationRequest", "OptimizationResult", "OptimizerSession",
 ]

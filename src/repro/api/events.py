@@ -19,10 +19,13 @@ serialized artifact); emitting events never consumes pipeline RNG.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Tuple)
+
+logger = logging.getLogger("repro.api.events")
 
 #: event kinds emitted by the session/pipeline (a vocabulary, not a
 #: closed set — subscribers must tolerate unknown kinds)
@@ -105,7 +108,11 @@ class EventBus:
     Subscribers are called synchronously, in subscription order, under
     no lock of their own — a slow subscriber slows the session, a
     raising subscriber is dropped after the first error (a monitoring
-    hook must never kill an optimization).
+    hook must never kill an optimization).  A drop is never silent: it
+    is logged with the traceback and announced to the surviving
+    subscribers as a ``subscriber_dropped`` event, so operators can see
+    that their log shipper / metrics hook died instead of wondering why
+    the stream went quiet.
     """
 
     def __init__(self) -> None:
@@ -132,9 +139,22 @@ class EventBus:
         for token, callback in subscribers:
             try:
                 callback(event)
-            except Exception:
+            except Exception as exc:
+                logger.warning(
+                    "dropping event subscriber %r after %s on %r event",
+                    callback, type(exc).__name__, event.kind,
+                    exc_info=True)
                 with self._lock:
-                    self._subscribers.pop(token, None)
+                    removed = self._subscribers.pop(token, None)
+                if removed is not None:
+                    # recursion is bounded: every drop removes one
+                    # subscriber, so a hook that also raises on this
+                    # notice just drops too
+                    self.publish(SessionEvent.make(
+                        event.seq, "subscriber_dropped",
+                        {"error": type(exc).__name__,
+                         "during": event.kind},
+                        wall=time.time()))
 
     @property
     def subscriber_count(self) -> int:

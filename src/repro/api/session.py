@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import (Any, Dict, List, Mapping, Optional, Sequence, Tuple,
                     Union)
 
+from ..cancellation import CancelToken, cancel_scope
 from ..codegen import scop_body_to_c
 from ..compilers import OPTIMIZER_BASE
 from ..compilers.base import BaseCompiler
@@ -465,8 +466,17 @@ class OptimizerSession:
     # execution
     # ------------------------------------------------------------------
     def optimize(self, request: OptimizationRequest,
-                 use_store: Optional[bool] = None) -> OptimizationResult:
-        """Serve one request: store hit or live pipeline run."""
+                 use_store: Optional[bool] = None,
+                 cancel: Optional[CancelToken] = None
+                 ) -> OptimizationResult:
+        """Serve one request: store hit or live pipeline run.
+
+        ``cancel`` installs a cooperative cancellation scope for the
+        duration of the run: the pipeline checkpoints at its step
+        boundaries and raises :class:`~repro.cancellation.Cancelled`
+        (or ``DeadlineExceeded``) as soon as the token is due.  Store
+        hits are served regardless — they cost no pipeline work.
+        """
         store = (self._store()
                  if use_store is not False and self._cacheable(request)
                  else None)
@@ -474,7 +484,8 @@ class OptimizerSession:
             hit = self._store_lookup(store, request)
             if hit is not None:
                 return hit
-        result = self._execute(request)
+        with cancel_scope(cancel):
+            result = self._execute(request)
         if store is not None:
             store.put(self._request_key(request), result.to_payload())
         return result

@@ -5,6 +5,10 @@ Commands
 optimize FILE     run LOOPRAG on a SCoP source file and print the result
                   (--json for a byte-stable structured document,
                   --events to stream session events to stderr)
+serve              long-lived optimization daemon: HTTP/JSON requests,
+                  NDJSON event streams, bounded admission, deadlines,
+                  retry/breaker resilience, graceful SIGTERM drain,
+                  /healthz + /metrics
 serve-batch SPEC  serve a JSON batch of requests through one
                   OptimizerSession (parallel, store-backed)
 compilers FILE    run every baseline compiler on a SCoP source file
@@ -77,12 +81,24 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(result.to_json_dict(), indent=2,
                          sort_keys=True))
-        return 0 if result.passed else 1
+        return _result_exit_code(result)
     print(f"# pass: {result.passed}   speedup: {result.speedup:.2f}x")
     if result.recipe is not None:
         print(f"# recipe: {result.recipe}")
     if result.best_code is not None:
         print(result.best_code)
+    return _result_exit_code(result)
+
+
+def _result_exit_code(result) -> int:
+    """0 = passed, 1 = no passing candidate, 2 = request *errored*.
+
+    An error (``result.failure`` set — optimizer failure, timeout,
+    structural problem) must not exit like a mere "found no speedup":
+    scripts gating on the exit code would silently swallow it.
+    """
+    if result.failure is not None:
+        return 2
     return 0 if result.passed else 1
 
 
@@ -253,10 +269,12 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     results = session.optimize_many(requests, jobs=args.jobs)
 
     passed = sum(1 for r in results if r.passed)
+    errored = sum(1 for r in results if r.failure is not None)
     report = {
         "session": session_spec,
         "count": len(results),
         "passed": passed,
+        "errors": errored,
         "results": [r.to_json_dict(include_events=args.include_events)
                     for r in results],
     }
@@ -274,8 +292,41 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
                   f"{result.system_label:24s} "
                   f"{str(result.passed):5s} {result.speedup:8.2f}x  "
                   f"{recipe[:70]}")
-        print(f"# {passed}/{len(results)} passed")
+        print(f"# {passed}/{len(results)} passed, {errored} errored")
+    # exit-code contract (audited): 2 when any request *errored* (its
+    # failure field is set) — errors in the table must never exit 0/1
+    # like a plain "no passing candidate" would
+    if errored:
+        return 2
     return 0 if passed == len(results) else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived optimization daemon (see ``repro.serve``).
+
+    Serves ``POST /v1/optimize`` (JSON result or NDJSON event stream),
+    ``GET /healthz`` and ``GET /metrics`` until SIGTERM/SIGINT, then
+    drains gracefully: admission stops, in-flight requests finish (or
+    are deadline-cancelled after ``--drain-grace``), and the process
+    exits 0.  Flags override the ``REPRO_SERVE_*`` environment knobs.
+    """
+    import json
+
+    from .serve import ServeConfig, ServeDaemon
+
+    default_session = {}
+    if args.session:
+        default_session = json.loads(args.session)
+        if not isinstance(default_session, dict):
+            raise SystemExit("--session must be a JSON object")
+    config = ServeConfig.from_env().with_overrides(
+        host=args.host, port=args.port,
+        max_inflight=args.max_inflight, queue_depth=args.queue_depth,
+        per_client=args.per_client, default_deadline=args.deadline,
+        drain_grace=args.drain_grace, max_sessions=args.sessions,
+        resilience=(False if args.no_resilience else None),
+        default_session=(default_session or None))
+    return ServeDaemon(config).run_forever()
 
 
 def _perf_candidates(program):
@@ -717,6 +768,42 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("table", "json"),
                      help="stdout format (default: table)")
     ben.set_defaults(func=cmd_bench, suite=None, system=None)
+
+    srv = sub.add_parser(
+        "serve",
+        help="long-lived optimization daemon (HTTP/JSON + NDJSON "
+             "events, admission control, deadlines, graceful drain)")
+    srv.add_argument("--host", default=None,
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=None,
+                     help="port (default 8459; 0 = ephemeral)")
+    srv.add_argument("--max-inflight", type=int, default=None,
+                     help="concurrent requests executed "
+                          "(REPRO_SERVE_INFLIGHT, default 4)")
+    srv.add_argument("--queue-depth", type=int, default=None,
+                     help="bounded admission queue beyond in-flight "
+                          "(REPRO_SERVE_QUEUE, default 8; overload "
+                          "answers 503 + Retry-After)")
+    srv.add_argument("--per-client", type=int, default=None,
+                     help="concurrent requests per client "
+                          "(REPRO_SERVE_PER_CLIENT, default 4)")
+    srv.add_argument("--deadline", type=float, default=None,
+                     help="default per-request deadline in seconds "
+                          "(REPRO_SERVE_DEADLINE; 0 = none)")
+    srv.add_argument("--drain-grace", type=float, default=None,
+                     help="seconds SIGTERM waits for in-flight work "
+                          "before cancelling it (REPRO_SERVE_DRAIN, "
+                          "default 10)")
+    srv.add_argument("--sessions", type=int, default=None,
+                     help="max pooled warm sessions "
+                          "(REPRO_SERVE_SESSIONS, default 4)")
+    srv.add_argument("--no-resilience", action="store_true",
+                     help="disable the retry/circuit-breaker wrapper "
+                          "around LLM backends")
+    srv.add_argument("--session", metavar="JSON",
+                     help="default session spec for requests that "
+                          "send none, e.g. '{\"dataset_size\": 300}'")
+    srv.set_defaults(func=cmd_serve)
 
     ser = sub.add_parser(
         "serve-batch",

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple)
 
+from ..cancellation import checkpoint
 from ..compilers.base import BaseCompiler, GCC
 from ..ir.program import Program
 from ..ir.validate import check_program
@@ -174,6 +175,7 @@ class FeedbackPipeline:
             emit: Optional[Callable] = None) -> PipelineResult:
         if emit is None:
             emit = _no_emit
+        checkpoint()  # cooperative cancellation (deadline/drain)
         _ACTIVE_LIMIT.value = self.time_limit
         llm: SimulatedLLM = self.llm_factory()
         rng = random.Random(f"pipeline/{self.seed}/{target.fingerprint()}")
@@ -277,6 +279,7 @@ class FeedbackPipeline:
     # ------------------------------------------------------------------
     def _generate(self, llm: SimulatedLLM, prompt: Prompt, slot: int,
                   round_tag: str, emit: Callable = _no_emit) -> Candidate:
+        checkpoint()  # before each backend call
         response = llm.generate(prompt, slot, round_tag)
         errors = check_program(response.program)
         emit("candidate_generated", slot=slot, round=round_tag,
@@ -312,6 +315,7 @@ class FeedbackPipeline:
         for cand in candidates:
             if cand.report is not None:
                 continue
+            checkpoint()  # before each candidate's test battery
             cand.report = checker.check(cand.response.program)
             if cand.report.passed:
                 finalized = self.base.finalize(cand.response.program)

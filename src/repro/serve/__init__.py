@@ -1,0 +1,19 @@
+"""The fault-tolerant ``repro serve`` daemon.
+
+A stdlib-only long-lived HTTP/JSON service over warm
+:class:`~repro.api.OptimizerSession` pools, with bounded admission,
+per-request deadlines, retry/breaker resilience around backends,
+graceful drain, and ``/healthz`` + ``/metrics``.  See
+:mod:`repro.serve.daemon` for the endpoint contract and
+docs/architecture.md ("Service daemon & resilience") for the design.
+"""
+
+from .admission import AdmissionController, Rejected
+from .config import ServeConfig
+from .daemon import BadRequest, ServeDaemon
+from .metrics import Metrics
+
+__all__ = [
+    "AdmissionController", "Rejected", "ServeConfig", "BadRequest",
+    "ServeDaemon", "Metrics",
+]

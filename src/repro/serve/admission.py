@@ -1,0 +1,114 @@
+"""Bounded admission: in-flight cap, wait queue, per-client limits.
+
+The daemon never buffers unbounded work: at most ``max_inflight``
+requests execute, at most ``queue_depth`` wait, and one client can
+hold at most ``per_client`` slots (queued + running).  Everything else
+is rejected *immediately* with :class:`Rejected` — the HTTP layer
+turns that into ``503`` + ``Retry-After`` — so overload degrades into
+fast, honest push-back instead of latency collapse or OOM.
+
+Queued requests keep honoring their cancellation token while they
+wait: a deadline that expires in the queue, or a drain that cancels
+the token, unblocks the waiter right away.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from ..cancellation import CancelToken
+
+
+class Rejected(Exception):
+    """Admission refused; tell the client when to come back."""
+
+    def __init__(self, reason: str, retry_after: float) -> None:
+        super().__init__(f"admission rejected: {reason}")
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    def __init__(self, max_inflight: int, queue_depth: int,
+                 per_client: int) -> None:
+        self.max_inflight = max(1, max_inflight)
+        self.queue_depth = max(0, queue_depth)
+        self.per_client = max(1, per_client)
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._queued = 0
+        self._clients: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    @property
+    def queued(self) -> int:
+        with self._cond:
+            return self._queued
+
+    def _retry_after_locked(self) -> float:
+        return min(30.0, 1.0 + float(self._queued))
+
+    # ------------------------------------------------------------------
+    def acquire(self, client: str,
+                token: Optional[CancelToken] = None) -> None:
+        """Take one execution slot (waiting in the bounded queue).
+
+        Raises :class:`Rejected` on overload or per-client limit, and
+        propagates :class:`~repro.cancellation.Cancelled` if ``token``
+        becomes due while queued.
+        """
+        with self._cond:
+            held = self._clients.get(client, 0)
+            if held >= self.per_client:
+                raise Rejected("client_limit", retry_after=1.0)
+            if self._inflight >= self.max_inflight \
+                    and self._queued >= self.queue_depth:
+                raise Rejected("overloaded",
+                               retry_after=self._retry_after_locked())
+            self._clients[client] = held + 1
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                return
+            self._queued += 1
+            try:
+                while self._inflight >= self.max_inflight:
+                    if token is not None:
+                        token.check()  # deadline/drain while queued
+                    self._cond.wait(timeout=0.05)
+                self._inflight += 1
+            except BaseException:
+                self._release_client_locked(client)
+                raise
+            finally:
+                self._queued -= 1
+
+    def release(self, client: str) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self._release_client_locked(client)
+            self._cond.notify_all()
+
+    def _release_client_locked(self, client: str) -> None:
+        held = self._clients.get(client, 0) - 1
+        if held <= 0:
+            self._clients.pop(client, None)
+        else:
+            self._clients[client] = held
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until nothing is in flight or queued (drain helper)."""
+        end = time.monotonic() + timeout
+        with self._cond:
+            while self._inflight > 0 or self._queued > 0:
+                left = end - time.monotonic()
+                if left <= 0:
+                    return False
+                self._cond.wait(timeout=min(0.05, left))
+            return True

@@ -1,0 +1,57 @@
+"""Daemon configuration (flags + ``REPRO_SERVE_*`` env knobs)."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+#: env knob -> (field, parser); documented in README "Environment knobs"
+_ENV_KNOBS = {
+    "REPRO_SERVE_INFLIGHT": ("max_inflight", int),
+    "REPRO_SERVE_QUEUE": ("queue_depth", int),
+    "REPRO_SERVE_PER_CLIENT": ("per_client", int),
+    "REPRO_SERVE_DEADLINE": ("default_deadline", float),
+    "REPRO_SERVE_DRAIN": ("drain_grace", float),
+    "REPRO_SERVE_SESSIONS": ("max_sessions", int),
+}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything ``repro serve`` needs to know.
+
+    ``max_inflight`` requests execute concurrently; up to
+    ``queue_depth`` more wait in the admission queue; anything beyond
+    that — and anything over ``per_client`` concurrent requests from
+    one client — is answered ``503`` with a ``Retry-After`` header
+    instead of growing memory without bound.  ``default_deadline``
+    (seconds, 0 = none) applies to requests that do not carry their
+    own; ``drain_grace`` is how long SIGTERM waits for in-flight work
+    before deadline-cancelling it.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8459
+    max_inflight: int = 4
+    queue_depth: int = 8
+    per_client: int = 4
+    default_deadline: float = 0.0
+    drain_grace: float = 10.0
+    max_sessions: int = 4
+    resilience: bool = True
+    #: session defaults for requests that send no "session" object
+    default_session: Dict[str, Any] = field(default_factory=dict)
+
+    @staticmethod
+    def from_env(**overrides: Any) -> "ServeConfig":
+        values: Dict[str, Any] = {}
+        for env, (name, parse) in _ENV_KNOBS.items():
+            if env in os.environ:
+                values[name] = parse(os.environ[env])
+        values.update(overrides)
+        return ServeConfig(**values)
+
+    def with_overrides(self, **overrides: Any) -> "ServeConfig":
+        filtered = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **filtered) if filtered else self

@@ -1,0 +1,512 @@
+"""The ``repro serve`` daemon: HTTP/JSON front door over warm sessions.
+
+Stdlib only (:mod:`http.server` + threads).  One
+:class:`ServeDaemon` owns:
+
+* a **session pool** — warm :class:`~repro.api.OptimizerSession`
+  objects keyed by their (dataset size, seed, method, backend, ...)
+  configuration, LRU-bounded, shared across requests;
+* an **admission controller** — bounded in-flight + queue with
+  per-client limits; overload answers ``503`` + ``Retry-After``;
+* **deadlines** — per-request (``deadline_s``) or the configured
+  default, propagated into the pipeline as a cooperative
+  :class:`~repro.cancellation.CancelToken`; expiry answers ``504``;
+* the **resilience layer** — unless disabled, the request's LLM
+  backend is transparently re-registered as ``resilient:<name>``
+  (retry/backoff + circuit breaker, see :mod:`repro.api.resilience`);
+* **graceful drain** — SIGTERM/SIGINT stop admission, let in-flight
+  work finish (``drain_grace`` seconds), cancel what remains, then
+  exit 0;
+* ``/healthz`` and ``/metrics`` endpoints.
+
+Endpoints
+---------
+``POST /v1/optimize``
+    body: ``{"request": {"source": ..., "system": ..., "persona": ...,
+    "perf": {...}, "test": {...}}, "session": {...},
+    "deadline_s": 5.0, "stream": true|false, "use_store": bool}``.
+    Non-streaming responses are the byte-stable ``repro optimize
+    --json`` document; ``"stream": true`` answers NDJSON — one line
+    per :class:`SessionEvent` as it happens (resilience events
+    included), then a final ``{"kind": "result", ...}`` line.
+``GET /healthz``
+    200 while serving, 503 while draining.
+``GET /metrics``
+    queue depth, in-flight, totals (completed / failed / rejected /
+    cancelled / retries / breaker trips), breaker states, p50/p95
+    latency.
+
+Errors are structured: ``{"error": {"kind": ..., "message": ...}}``
+with kinds ``bad_request`` (400), ``deadline`` (504), ``draining`` /
+``overloaded`` / ``client_limit`` (503 + Retry-After),
+``breaker_open`` (503 + Retry-After), ``backend`` (502) and
+``internal`` (500).  A request that fails *never* takes the daemon
+down with it.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+import time
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..api import (OptimizationRequest, OptimizerSession,
+                   UnknownComponentError)
+from ..api.resilience import (CircuitOpenError, RESILIENCE_BUS,
+                              RetryPolicy, breaker_states,
+                              install_resilient_llm)
+from ..cancellation import (Cancelled, CancelToken, DeadlineExceeded,
+                            cancel_scope)
+from ..ir import parse_scop
+from ..testing.faults import register_fault_backends
+from .admission import AdmissionController, Rejected
+from .config import ServeConfig
+from .metrics import Metrics
+
+logger = logging.getLogger("repro.serve")
+
+#: session-spec keys a request may set; everything else is a 400
+SESSION_KEYS = ("dataset_size", "seed", "generator", "retrieval_method",
+                "llm_backend", "base_compiler", "k", "use_store")
+
+#: resilience event kinds -> metrics counters
+_RESILIENCE_COUNTERS = {
+    "retry": "retries_total",
+    "retry_give_up": "retry_give_ups_total",
+    "breaker_open": "breaker_opens_total",
+    "breaker_half_open": "breaker_probes_total",
+    "breaker_close": "breaker_closes_total",
+}
+
+
+class BadRequest(Exception):
+    """Client error: malformed body / unknown fields."""
+
+
+def _default_params(program, value: int) -> Dict[str, int]:
+    return {p: value for p in program.params}
+
+
+class ServeDaemon:
+    """Everything behind the HTTP surface; usable in-process in tests."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig.from_env()
+        self.metrics = Metrics()
+        self.admission = AdmissionController(self.config.max_inflight,
+                                             self.config.queue_depth,
+                                             self.config.per_client)
+        self._sessions: "OrderedDict[Tuple, OptimizerSession]" = \
+            OrderedDict()
+        self._sessions_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._tokens: set = set()
+        self._tokens_lock = threading.Lock()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._serve_thread: Optional[threading.Thread] = None
+        register_fault_backends()
+        self._unsub_resilience = RESILIENCE_BUS.subscribe(
+            self._on_resilience_event)
+        self.metrics.gauge("queue_depth", lambda: self.admission.queued)
+        self.metrics.gauge("inflight", lambda: self.admission.inflight)
+        self.metrics.gauge("sessions", self._session_count)
+        self.metrics.gauge("breakers", breaker_states)
+        self.metrics.gauge("draining", self._draining.is_set)
+
+    # ------------------------------------------------------------------
+    # session pool
+    # ------------------------------------------------------------------
+    def _session_count(self) -> int:
+        with self._sessions_lock:
+            return len(self._sessions)
+
+    def _effective_spec(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        merged = dict(self.config.default_session)
+        merged.update(spec or {})
+        unknown = sorted(set(merged) - set(SESSION_KEYS))
+        if unknown:
+            raise BadRequest(
+                f"unknown session field(s) {', '.join(unknown)}; "
+                f"allowed: {', '.join(SESSION_KEYS)}")
+        if self.config.resilience:
+            backend = merged.get("llm_backend", "simulated")
+            merged["llm_backend"] = install_resilient_llm(
+                backend, RetryPolicy.from_env())
+        return merged
+
+    def session_for(self, spec: Dict[str, Any]) -> OptimizerSession:
+        """The pooled warm session for this configuration (LRU)."""
+        merged = self._effective_spec(spec)
+        key = tuple(sorted(merged.items()))
+        with self._sessions_lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self._sessions.move_to_end(key)
+                return session
+        # build outside the lock: construction validates components and
+        # may raise; two racing builders just build twice, last one wins
+        session = OptimizerSession(**merged)
+        with self._sessions_lock:
+            self._sessions[key] = session
+            self._sessions.move_to_end(key)
+            while len(self._sessions) > self.config.max_sessions:
+                self._sessions.popitem(last=False)
+        return session
+
+    # ------------------------------------------------------------------
+    # request materialization
+    # ------------------------------------------------------------------
+    @staticmethod
+    def materialize_request(entry: Dict[str, Any]) -> OptimizationRequest:
+        if not isinstance(entry, dict):
+            raise BadRequest("'request' must be an object")
+        source = entry.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise BadRequest("'request.source' (SCoP text) is required")
+        try:
+            program = parse_scop(source)
+        except Exception as exc:
+            raise BadRequest(f"unparseable SCoP source: {exc}")
+        perf = {k: int(v) for k, v in entry.get("perf", {}).items()} \
+            or _default_params(program, 1500)
+        test = {k: int(v) for k, v in entry.get("test", {}).items()} \
+            or _default_params(program, 8)
+        try:
+            return OptimizationRequest.make(
+                program, perf, test,
+                system=entry.get("system", "looprag"),
+                persona=entry.get("persona", "deepseek"),
+                optimizer=entry.get("optimizer"),
+                time_limit=entry.get("time_limit"),
+                tag=entry.get("tag"))
+        except UnknownComponentError as exc:
+            raise BadRequest(str(exc))
+
+    # ------------------------------------------------------------------
+    # the request path (called from handler threads)
+    # ------------------------------------------------------------------
+    def _on_resilience_event(self, event) -> None:
+        counter = _RESILIENCE_COUNTERS.get(event.kind)
+        if counter is not None:
+            self.metrics.inc(counter)
+
+    def _register_token(self, token: CancelToken) -> None:
+        with self._tokens_lock:
+            self._tokens.add(token)
+
+    def _unregister_token(self, token: CancelToken) -> None:
+        with self._tokens_lock:
+            self._tokens.discard(token)
+
+    def handle_optimize(self, handler: "_Handler",
+                        body: Dict[str, Any]) -> None:
+        self.metrics.inc("requests_total")
+        started = time.monotonic()
+        if self._draining.is_set():
+            self.metrics.inc("rejected_total")
+            _send_error(handler, 503, "draining",
+                        "daemon is draining", retry_after=5.0)
+            return
+        client = handler.headers.get("X-Client-Id") \
+            or handler.client_address[0]
+        deadline_s = body.get("deadline_s",
+                              self.config.default_deadline or None)
+        if deadline_s is not None:
+            deadline_s = float(deadline_s)
+        token = CancelToken.with_timeout(deadline_s)
+        self._register_token(token)
+        admitted = False
+        try:
+            try:
+                self.admission.acquire(client, token)
+                admitted = True
+            except Rejected as exc:
+                self.metrics.inc("rejected_total")
+                self.metrics.inc(f"rejected_{exc.reason}_total")
+                _send_error(handler, 503, exc.reason, str(exc),
+                            retry_after=exc.retry_after)
+                return
+            request = self.materialize_request(body.get("request", {}))
+            session = self.session_for(body.get("session", {}))
+            use_store = body.get("use_store")
+            if bool(body.get("stream")):
+                self.metrics.inc("streams_total")
+                self._run_streaming(handler, session, request, token,
+                                    use_store)
+            else:
+                result = session.optimize(request, use_store=use_store,
+                                          cancel=token)
+                doc = result.to_json_dict(
+                    include_events=bool(body.get("include_events", True)))
+                _send_json(handler, 200, doc)
+            self.metrics.inc("completed_total")
+            self.metrics.observe_latency(time.monotonic() - started)
+        except BadRequest as exc:
+            self.metrics.inc("failed_total")
+            _send_error(handler, 400, "bad_request", str(exc))
+        except UnknownComponentError as exc:
+            self.metrics.inc("failed_total")
+            _send_error(handler, 400, "bad_request", str(exc))
+        except DeadlineExceeded:
+            self.metrics.inc("cancelled_total")
+            self.metrics.inc("deadline_total")
+            _send_error(handler, 504, "deadline",
+                        f"request exceeded its deadline "
+                        f"({deadline_s}s)")
+        except Cancelled as exc:
+            self.metrics.inc("cancelled_total")
+            _send_error(handler, 503, exc.reason, str(exc),
+                        retry_after=5.0)
+        except CircuitOpenError as exc:
+            self.metrics.inc("failed_total")
+            _send_error(handler, 503, "breaker_open", str(exc),
+                        retry_after=exc.retry_after,
+                        site=exc.site)
+        except Exception as exc:
+            transient = bool(getattr(exc, "transient", False)) \
+                or isinstance(exc, (ConnectionError, TimeoutError))
+            self.metrics.inc("failed_total")
+            if transient:
+                _send_error(handler, 502, "backend",
+                            f"backend failed after retries: "
+                            f"{type(exc).__name__}: {exc}")
+            else:
+                logger.exception("internal error serving request")
+                _send_error(handler, 500, "internal",
+                            f"{type(exc).__name__}: {exc}")
+        finally:
+            if admitted:
+                self.admission.release(client)
+            self._unregister_token(token)
+
+    def _run_streaming(self, handler: "_Handler",
+                       session: OptimizerSession,
+                       request: OptimizationRequest,
+                       token: CancelToken,
+                       use_store: Optional[bool]) -> None:
+        """NDJSON: live events (this thread's only), then the result."""
+        handler.send_response(200)
+        handler.send_header("Content-Type", "application/x-ndjson")
+        handler.send_header("Connection", "close")
+        handler.end_headers()
+        ident = threading.get_ident()
+        write_lock = threading.Lock()
+
+        def write_line(doc: Dict[str, Any]) -> None:
+            data = (json.dumps(doc, sort_keys=True) + "\n").encode()
+            with write_lock:
+                handler.wfile.write(data)
+                handler.wfile.flush()
+
+        def forward(event) -> None:
+            if threading.get_ident() != ident:
+                return  # another request's event
+            try:
+                write_line({"kind": event.kind, "seq": event.seq,
+                            "data": {k: v for k, v in event.data}})
+            except OSError:
+                # client went away: stop paying for the request
+                token.cancel("client_disconnected")
+
+        unsub_session = session.events.subscribe(forward)
+        unsub_resilience = RESILIENCE_BUS.subscribe(forward)
+        try:
+            result = session.optimize(request, use_store=use_store,
+                                      cancel=token)
+            doc = result.to_json_dict(include_events=False)
+            doc["kind"] = "result"
+            write_line(doc)
+        except Cancelled as exc:
+            self.metrics.inc("cancelled_total")
+            if isinstance(exc, DeadlineExceeded):
+                self.metrics.inc("deadline_total")
+            try:
+                write_line({"kind": "error", "error": {
+                    "kind": exc.reason, "message": str(exc)}})
+            except OSError:
+                pass
+        finally:
+            unsub_session()
+            unsub_resilience()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _make_server(self) -> ThreadingHTTPServer:
+        server = _Server((self.config.host, self.config.port), _Handler)
+        server.repro_daemon = self
+        self._httpd = server
+        return server
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self._httpd is not None, "daemon not started"
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> Tuple[str, int]:
+        """Start serving on a background thread (tests)."""
+        server = self._make_server()
+        self._serve_thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05},
+            name="repro-serve", daemon=True)
+        self._serve_thread.start()
+        return self.address
+
+    def begin_drain(self, reason: str = "sigterm") -> None:
+        """Stop admission, finish/cancel in-flight, stop the server."""
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        self.metrics.inc("drains_total")
+        logger.info("drain started (%s): %d in flight, %d queued",
+                    reason, self.admission.inflight,
+                    self.admission.queued)
+
+        def _drain() -> None:
+            clean = self.admission.wait_idle(self.config.drain_grace)
+            if not clean:
+                with self._tokens_lock:
+                    tokens = list(self._tokens)
+                for token in tokens:
+                    token.cancel("drain")
+                self.admission.wait_idle(5.0)
+            if self._httpd is not None:
+                self._httpd.shutdown()
+            self._drained.set()
+
+        threading.Thread(target=_drain, name="repro-serve-drain",
+                         daemon=True).start()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain and join (in-process use)."""
+        self.begin_drain(reason="stop")
+        self._drained.wait(timeout)
+        if self._httpd is not None:
+            self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout)
+        self._unsub_resilience()
+
+    def run_forever(self, announce=print) -> int:
+        """Foreground serve loop with SIGTERM/SIGINT drain; returns 0."""
+        server = self._make_server()
+        host, port = self.address
+
+        def _signal_drain(signum, frame) -> None:
+            self.begin_drain(reason=signal.Signals(signum).name)
+
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _signal_drain)
+        announce(f"repro-serve listening on http://{host}:{port} "
+                 f"(inflight={self.config.max_inflight} "
+                 f"queue={self.config.queue_depth} "
+                 f"deadline={self.config.default_deadline or 'none'})",
+                 flush=True)
+        try:
+            server.serve_forever(poll_interval=0.1)
+        finally:
+            server.server_close()
+            for signum, old in previous.items():
+                signal.signal(signum, old)
+        announce("repro-serve drained cleanly", flush=True)
+        return 0
+
+    # ------------------------------------------------------------------
+    def health(self) -> Tuple[int, Dict[str, Any]]:
+        draining = self._draining.is_set()
+        doc = {
+            "status": "draining" if draining else "ok",
+            "inflight": self.admission.inflight,
+            "queued": self.admission.queued,
+            "sessions": self._session_count(),
+        }
+        return (503 if draining else 200), doc
+
+
+class _Server(ThreadingHTTPServer):
+    # non-daemon handler threads + block_on_close: server_close() waits
+    # for in-flight handlers, which is exactly what drain wants
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+    repro_daemon: ServeDaemon
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: _Server
+
+    @property
+    def daemon(self) -> ServeDaemon:
+        return self.server.repro_daemon
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        logger.debug("%s %s", self.address_string(), fmt % args)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            status, doc = self.daemon.health()
+            _send_json(self, status, doc)
+        elif self.path == "/metrics":
+            _send_json(self, 200, self.daemon.metrics.snapshot())
+        else:
+            _send_error(self, 404, "not_found",
+                        f"no such endpoint: {self.path}")
+
+    def do_POST(self) -> None:
+        if self.path != "/v1/optimize":
+            _send_error(self, 404, "not_found",
+                        f"no such endpoint: {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b""
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+            if not isinstance(body, dict):
+                raise ValueError("body must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self.daemon.metrics.inc("requests_total")
+            self.daemon.metrics.inc("failed_total")
+            _send_error(self, 400, "bad_request",
+                        f"invalid JSON body: {exc}")
+            return
+        try:
+            self.daemon.handle_optimize(self, body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up mid-response
+
+
+def _send_json(handler: BaseHTTPRequestHandler, status: int,
+               doc: Dict[str, Any],
+               retry_after: Optional[float] = None) -> None:
+    body = json.dumps(doc, indent=2, sort_keys=True).encode("utf-8")
+    try:
+        handler.send_response(status)
+        handler.send_header("Content-Type", "application/json")
+        handler.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            handler.send_header("Retry-After",
+                                str(max(1, int(round(retry_after)))))
+        handler.end_headers()
+        handler.wfile.write(body)
+    except (BrokenPipeError, ConnectionResetError):
+        pass  # client hung up; nothing to salvage
+
+
+def _send_error(handler: BaseHTTPRequestHandler, status: int, kind: str,
+                message: str, retry_after: Optional[float] = None,
+                **extra: Any) -> None:
+    error: Dict[str, Any] = {"kind": kind, "message": message}
+    error.update(extra)
+    if retry_after is not None:
+        error["retry_after"] = max(1, int(round(retry_after)))
+    _send_json(handler, status, {"error": error},
+               retry_after=retry_after)

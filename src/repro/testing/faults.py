@@ -1,0 +1,306 @@
+"""Deterministic fault injection (``REPRO_FAULTS``).
+
+Every robustness claim the serve daemon makes — retries recover from
+flaky backends, breakers trip on persistent failure, deadlines cancel
+stalls — is exercised against *injected* faults, not asserted.  A
+fault plan is a seeded, counted schedule of failures keyed by call
+site, so every test run sees exactly the same faults in exactly the
+same order.
+
+Spec grammar (``REPRO_FAULTS`` or :func:`FaultPlan.parse`)::
+
+    clause[;clause...]
+    clause  := site:kind[:key=value...]
+    site    := llm.generate | compiler.optimize | <any string>
+    kind    := raise | timeout | malformed | delay
+
+    keys: times=N    inject on the first N matching calls (default: 1)
+          always     inject on every matching call
+          every=K    inject on every Kth matching call (1-based)
+          after=N    skip the first N matching calls
+          seconds=S  sleep S seconds (kind delay; default 0.05)
+
+Examples::
+
+    REPRO_FAULTS="llm.generate:raise:times=2"
+    REPRO_FAULTS="llm.generate:delay:seconds=0.2:always"
+    REPRO_FAULTS="llm.generate:malformed:every=3;compiler.optimize:raise:times=1"
+
+Faults raised here carry ``transient = True`` so the resilience layer
+(:mod:`repro.api.resilience`) retries them; ``delay`` sleeps through
+:func:`repro.cancellation.sleep_interruptible` so deadlines and drain
+interrupt an injected stall.
+
+The injected LLM backend registers in ``LLM_BACKENDS`` as ``"faulty"``
+(see :func:`register_fault_backends`): it wraps the ``simulated``
+backend and consults the active plan before each ``generate`` call —
+faults fire *before* the inner model consumes any randomness, so a
+retried call returns the byte-identical response a fault-free run
+produces.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..cancellation import sleep_interruptible
+
+KINDS = ("raise", "timeout", "malformed", "delay")
+
+
+class FaultInjected(ConnectionError):
+    """An injected transient backend failure."""
+
+    transient = True
+
+
+class FaultTimeout(TimeoutError):
+    """An injected backend timeout."""
+
+    transient = True
+
+
+class MalformedReply(ValueError):
+    """An injected unparseable/garbage backend reply."""
+
+    transient = True
+
+    def __init__(self, site: str, payload: str) -> None:
+        super().__init__(f"malformed reply from {site}: {payload!r}")
+        self.payload = payload
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed ``site:kind[:opts]`` clause."""
+
+    site: str
+    kind: str
+    times: Optional[int] = 1   # None = always
+    every: Optional[int] = None
+    after: int = 0
+    seconds: float = 0.05
+
+    def fires(self, call_index: int, injected_so_far: int) -> bool:
+        """Decide for the ``call_index``-th (0-based) matching call."""
+        if call_index < self.after:
+            return False
+        if self.every is not None:
+            return (call_index - self.after + 1) % self.every == 0
+        if self.times is None:
+            return True
+        return injected_so_far < self.times
+
+
+def _parse_clause(text: str) -> FaultClause:
+    parts = [p for p in text.strip().split(":") if p]
+    if len(parts) < 2:
+        raise ValueError(
+            f"fault clause {text!r} needs at least site:kind")
+    site, kind = parts[0], parts[1]
+    if kind not in KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; choose from {', '.join(KINDS)}")
+    options: Dict[str, Any] = {}
+    for opt in parts[2:]:
+        key, sep, value = opt.partition("=")
+        if not sep:
+            if key == "always":
+                options["times"] = None
+                continue
+            raise ValueError(f"bad fault option {opt!r} in {text!r}")
+        if key == "times":
+            options["times"] = int(value)
+        elif key == "every":
+            options["every"] = int(value)
+        elif key == "after":
+            options["after"] = int(value)
+        elif key == "seconds":
+            options["seconds"] = float(value)
+        else:
+            raise ValueError(f"unknown fault option {key!r} in {text!r}")
+    return FaultClause(site=site, kind=kind, **options)
+
+
+class FaultPlan:
+    """A parsed spec plus per-clause call/injection counters.
+
+    Counters are plan-global and lock-guarded: with a deterministic
+    call order the injected faults are deterministic too, which is the
+    whole point — ``repro serve`` under ``REPRO_FAULTS`` replays the
+    same failure schedule on every run.
+    """
+
+    def __init__(self, clauses: List[FaultClause]) -> None:
+        self.clauses = list(clauses)
+        self._lock = threading.Lock()
+        self._calls: Dict[int, int] = {i: 0 for i in range(len(clauses))}
+        self._injected: Dict[int, int] = dict(self._calls)
+
+    @staticmethod
+    def parse(spec: str) -> "FaultPlan":
+        clauses = [_parse_clause(c) for c in spec.split(";")
+                   if c.strip()]
+        return FaultPlan(clauses)
+
+    def describe(self) -> List[dict]:
+        return [{"site": c.site, "kind": c.kind, "times": c.times,
+                 "every": c.every, "after": c.after,
+                 "seconds": c.seconds} for c in self.clauses]
+
+    # ------------------------------------------------------------------
+    def _due(self, site: str) -> List[FaultClause]:
+        due: List[FaultClause] = []
+        with self._lock:
+            for i, clause in enumerate(self.clauses):
+                if clause.site != site:
+                    continue
+                index = self._calls[i]
+                self._calls[i] += 1
+                if clause.fires(index, self._injected[i]):
+                    self._injected[i] += 1
+                    due.append(clause)
+        return due
+
+    def check(self, site: str) -> None:
+        """Inject whatever the plan owes this ``site`` call.
+
+        ``delay`` clauses sleep (interruptibly) and fall through; the
+        raising kinds abort the call with their transient exception.
+        """
+        for clause in self._due(site):
+            if clause.kind == "delay":
+                sleep_interruptible(clause.seconds)
+            elif clause.kind == "timeout":
+                raise FaultTimeout(
+                    f"injected timeout at {site}")
+            elif clause.kind == "malformed":
+                raise MalformedReply(site, "<<<garbage reply 0xDEAD")
+            else:
+                raise FaultInjected(
+                    f"injected failure at {site}")
+
+    def counts(self) -> Tuple[Tuple[str, int, int], ...]:
+        """(site/kind, calls seen, faults injected) per clause."""
+        with self._lock:
+            return tuple(
+                (f"{c.site}:{c.kind}", self._calls[i], self._injected[i])
+                for i, c in enumerate(self.clauses))
+
+
+# ----------------------------------------------------------------------
+# the active plan: explicit install beats the environment
+# ----------------------------------------------------------------------
+_ACTIVE_LOCK = threading.Lock()
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+_ENV_CACHE: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def install_plan(plan: Optional[FaultPlan]) -> None:
+    """Pin the active plan (tests); ``None`` returns to the env spec."""
+    global _ACTIVE_PLAN
+    with _ACTIVE_LOCK:
+        _ACTIVE_PLAN = plan
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan, else one parsed from ``REPRO_FAULTS``.
+
+    The env-derived plan is cached per spec string so its counters
+    persist across calls (a fresh parse per call would reset ``times``
+    budgets and make every call the "first").
+    """
+    global _ENV_CACHE
+    with _ACTIVE_LOCK:
+        if _ACTIVE_PLAN is not None:
+            return _ACTIVE_PLAN
+        spec = os.environ.get("REPRO_FAULTS")
+        if not spec:
+            return None
+        cached_spec, cached_plan = _ENV_CACHE
+        if cached_spec != spec:
+            _ENV_CACHE = (spec, FaultPlan.parse(spec))
+        return _ENV_CACHE[1]
+
+
+def maybe_fault(site: str) -> None:
+    """Checkpoint for injectable call sites: no active plan = no-op."""
+    plan = active_plan()
+    if plan is not None:
+        plan.check(site)
+
+
+# ----------------------------------------------------------------------
+# injected components
+# ----------------------------------------------------------------------
+class FaultyLLM:
+    """The ``simulated`` backend behind a fault-injection valve.
+
+    Faults fire before the inner session is touched, so whenever a call
+    does go through, its response — and all downstream pipeline state —
+    is byte-identical to a fault-free run.
+    """
+
+    SITE = "llm.generate"
+
+    def __init__(self, inner: Any) -> None:
+        self._inner = inner
+
+    def generate(self, prompt: Any, k: int, round_tag: str = "r0") -> Any:
+        maybe_fault(self.SITE)
+        return self._inner.generate(prompt, k, round_tag)
+
+    def note_result(self, k: int, passed: bool) -> None:
+        self._inner.note_result(k, passed)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+class FaultyOptimizer:
+    """An optimizing-compiler baseline behind the same valve."""
+
+    SITE = "compiler.optimize"
+
+    def __init__(self, inner: Any, name: str) -> None:
+        self._inner = inner
+        self.name = name
+
+    def optimize(self, program: Any, params: Any) -> Any:
+        maybe_fault(self.SITE)
+        return self._inner.optimize(program, params)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+def register_fault_backends() -> None:
+    """Register the injected components (idempotent).
+
+    * LLM backend ``"faulty"`` — ``simulated`` behind the valve;
+    * optimizer ``"faulty-pluto"`` — ``pluto`` behind the valve.
+
+    Called lazily (serve daemon startup, tests) rather than at import
+    time so the default registries list only real components.
+    """
+    from ..api.registry import LLM_BACKENDS, OPTIMIZER_REGISTRY
+    from ..compilers import OPTIMIZER_BASE
+
+    def faulty_backend(persona: Any, seed: int) -> FaultyLLM:
+        inner_factory = LLM_BACKENDS.get("simulated")
+        return FaultyLLM(inner_factory(persona, seed))
+
+    LLM_BACKENDS.register("faulty", faulty_backend, overwrite=True)
+
+    inner_cls = OPTIMIZER_REGISTRY.get("pluto")
+
+    def faulty_pluto() -> FaultyOptimizer:
+        wrapper = FaultyOptimizer(inner_cls(), name="faulty-pluto")
+        wrapper.base_compiler = OPTIMIZER_BASE["pluto"]
+        return wrapper
+
+    OPTIMIZER_REGISTRY.register("faulty-pluto", faulty_pluto,
+                                overwrite=True)

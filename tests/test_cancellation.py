@@ -1,0 +1,120 @@
+"""Cooperative cancellation: tokens, scopes, interruptible sleep."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cancellation import (Cancelled, CancelToken, DeadlineExceeded,
+                                cancel_scope, checkpoint, current_token,
+                                sleep_interruptible)
+
+
+class TestCancelToken:
+    def test_fresh_token_passes_checks(self):
+        token = CancelToken()
+        token.check()
+        assert not token.cancelled
+        assert not token.expired()
+        assert token.remaining() is None
+
+    def test_cancel_sets_reason(self):
+        token = CancelToken()
+        token.cancel("drain")
+        assert token.cancelled
+        with pytest.raises(Cancelled) as excinfo:
+            token.check()
+        assert excinfo.value.reason == "drain"
+
+    def test_deadline_with_fake_clock(self):
+        now = [0.0]
+        token = CancelToken.with_timeout(5.0, clock=lambda: now[0])
+        token.check()
+        assert token.remaining() == 5.0
+        now[0] = 4.0
+        assert token.remaining() == 1.0
+        assert not token.expired()
+        now[0] = 5.0
+        assert token.expired()
+        assert token.remaining() == 0.0
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            token.check()
+        assert excinfo.value.reason == "deadline"
+
+    def test_with_timeout_none_or_nonpositive_never_expires(self):
+        for seconds in (None, 0, -1.0):
+            token = CancelToken.with_timeout(seconds)
+            assert token.deadline is None
+            token.check()
+
+    def test_deadline_exceeded_is_a_cancellation(self):
+        # daemon handlers catch Cancelled and still see the deadline
+        # subtype first: the hierarchy is load-bearing
+        assert issubclass(DeadlineExceeded, Cancelled)
+
+
+class TestCancelScope:
+    def test_checkpoint_is_noop_without_scope(self):
+        assert current_token() is None
+        checkpoint()  # must not raise
+
+    def test_scope_installs_and_restores_nested(self):
+        outer, inner = CancelToken(), CancelToken()
+        with cancel_scope(outer):
+            assert current_token() is outer
+            with cancel_scope(inner):
+                assert current_token() is inner
+            assert current_token() is outer
+        assert current_token() is None
+
+    def test_scope_restores_on_exception(self):
+        token = CancelToken()
+        with pytest.raises(RuntimeError):
+            with cancel_scope(token):
+                raise RuntimeError("boom")
+        assert current_token() is None
+
+    def test_checkpoint_raises_in_cancelled_scope(self):
+        token = CancelToken()
+        token.cancel()
+        with cancel_scope(token):
+            with pytest.raises(Cancelled):
+                checkpoint()
+
+    def test_scope_is_thread_local(self):
+        token = CancelToken()
+        token.cancel()
+        seen = []
+        with cancel_scope(token):
+            worker = threading.Thread(
+                target=lambda: seen.append(current_token()))
+            worker.start()
+            worker.join()
+        assert seen == [None]
+
+
+class TestSleepInterruptible:
+    def test_sleeps_full_duration_without_token(self):
+        start = time.monotonic()
+        sleep_interruptible(0.05)
+        assert time.monotonic() - start >= 0.05
+
+    def test_wakes_promptly_on_cancel(self):
+        token = CancelToken()
+        timer = threading.Timer(0.05, token.cancel)
+        with cancel_scope(token):
+            timer.start()
+            start = time.monotonic()
+            with pytest.raises(Cancelled):
+                sleep_interruptible(10.0)
+            assert time.monotonic() - start < 5.0
+        timer.cancel()
+
+    def test_raises_immediately_when_already_cancelled(self):
+        token = CancelToken()
+        token.cancel("deadline-ish")
+        with cancel_scope(token):
+            start = time.monotonic()
+            with pytest.raises(Cancelled):
+                sleep_interruptible(10.0)
+            assert time.monotonic() - start < 1.0

@@ -102,6 +102,64 @@ class TestServeBatch:
             main(["serve-batch", str(batch)])
 
 
+class TestExitCodes:
+    """The audited contract: 0 = passed, 1 = not passed, 2 = errored."""
+
+    def test_result_exit_code_contract(self):
+        from types import SimpleNamespace
+
+        from repro.cli import _result_exit_code
+
+        assert _result_exit_code(
+            SimpleNamespace(failure=None, passed=True)) == 0
+        assert _result_exit_code(
+            SimpleNamespace(failure=None, passed=False)) == 1
+        # an error must not masquerade as "no passing candidate"
+        assert _result_exit_code(
+            SimpleNamespace(failure="boom", passed=False)) == 2
+        assert _result_exit_code(
+            SimpleNamespace(failure="boom", passed=True)) == 2
+
+    def test_optimize_exit_code_matches_result(self, kernel_file,
+                                               capsys):
+        code = main(["optimize", kernel_file, "--dataset-size", "40",
+                     "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["result"]["failure"] is None
+        assert code == (0 if doc["result"]["passed"] else 1)
+
+    def test_serve_batch_exits_2_when_any_request_errors(
+            self, kernel_file, tmp_path, capsys):
+        spec = {
+            "session": {"dataset_size": 40},
+            "requests": [
+                # an absurd time limit forces a timeout *error*
+                {"file": kernel_file, "system": "compiler",
+                 "optimizer": "pluto", "perf": {"N": 2000},
+                 "time_limit": 1e-9, "tag": "doomed"},
+                {"file": kernel_file, "system": "looprag",
+                 "perf": {"N": 2000}, "test": {"N": 8}, "tag": "ok"},
+            ],
+        }
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps(spec))
+
+        code = main(["serve-batch", str(batch), "--no-cache",
+                     "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert doc["errors"] == 1
+        by_tag = {r["request"]["tag"]: r for r in doc["results"]}
+        assert by_tag["doomed"]["result"]["failure"]
+        assert by_tag["ok"]["result"]["failure"] is None
+
+        # the table rendering surfaces the same count
+        code = main(["serve-batch", str(batch), "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "1 errored" in out
+
+
 class TestStoreMaintenance:
     """``repro store stats`` / ``repro store compact``."""
 

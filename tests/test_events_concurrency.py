@@ -1,0 +1,165 @@
+"""EventBus under concurrency, and the subscriber-drop contract.
+
+The daemon publishes session and resilience events from many handler
+threads while operators subscribe/unsubscribe live.  These tests pin
+the guarantees that makes safe: no lost events for surviving
+subscribers, per-publisher ordering, and a raising subscriber being
+dropped exactly once — loudly (warning log + ``subscriber_dropped``
+event), never silently.
+"""
+
+import logging
+import threading
+
+from repro.api.events import EventBus, SessionEvent
+
+
+def _tick(seq, **data):
+    return SessionEvent.make(seq, "tick", data)
+
+
+class TestConcurrentPublish:
+    def test_every_subscriber_sees_every_event_in_publisher_order(self):
+        bus = EventBus()
+        publishers, per_publisher = 8, 50
+        received = [[] for _ in range(3)]
+        for sink in received:
+            bus.subscribe(sink.append)
+
+        def publish(tid):
+            for seq in range(per_publisher):
+                bus.publish(_tick(seq, tid=tid))
+
+        workers = [threading.Thread(target=publish, args=(tid,))
+                   for tid in range(publishers)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        for events in received:
+            assert len(events) == publishers * per_publisher
+            for tid in range(publishers):
+                seqs = [e.seq for e in events if e.get("tid") == tid]
+                # interleaving across publishers is fine; reordering
+                # within one publisher is not
+                assert seqs == list(range(per_publisher))
+
+    def test_subscribe_unsubscribe_churn_during_publish(self):
+        bus = EventBus()
+        stable = []
+        bus.subscribe(stable.append)
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                unsubscribe = bus.subscribe(lambda event: None)
+                unsubscribe()
+
+        churners = [threading.Thread(target=churn) for _ in range(4)]
+        for worker in churners:
+            worker.start()
+        try:
+            for seq in range(200):
+                bus.publish(_tick(seq))
+        finally:
+            stop.set()
+            for worker in churners:
+                worker.join()
+
+        # churn never loses events for the stable subscriber
+        assert [e.seq for e in stable] == list(range(200))
+        assert bus.subscriber_count == 1
+
+    def test_unsubscribe_is_idempotent_and_thread_safe(self):
+        bus = EventBus()
+        unsubscribe = bus.subscribe(lambda event: None)
+        workers = [threading.Thread(target=unsubscribe)
+                   for _ in range(8)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert bus.subscriber_count == 0
+
+
+class TestSubscriberDrop:
+    def test_raising_subscriber_dropped_loudly(self, caplog):
+        bus = EventBus()
+        survivor = []
+        bus.subscribe(survivor.append)
+
+        def bad(event):
+            raise RuntimeError("hook exploded")
+
+        bus.subscribe(bad)
+        with caplog.at_level(logging.WARNING, logger="repro.api.events"):
+            bus.publish(_tick(0))
+        assert "dropping event subscriber" in caplog.text
+        assert bus.subscriber_count == 1
+
+        # the survivor saw the original event AND the drop notice
+        assert [e.kind for e in survivor] == ["tick",
+                                              "subscriber_dropped"]
+        notice = survivor[-1]
+        assert notice.get("error") == "RuntimeError"
+        assert notice.get("during") == "tick"
+
+        # later publishes no longer reach the dropped hook
+        bus.publish(_tick(1))
+        assert [e.kind for e in survivor] == \
+            ["tick", "subscriber_dropped", "tick"]
+
+    def test_cascading_drops_are_bounded(self):
+        bus = EventBus()
+        survivor = []
+        bus.subscribe(survivor.append)
+
+        def bad(event):
+            raise RuntimeError("dies on anything")
+
+        def touchy(event):
+            if event.kind == "subscriber_dropped":
+                raise ValueError("dies on drop notices")
+
+        bus.subscribe(bad)
+        bus.subscribe(touchy)
+        bus.publish(_tick(0))  # bad drops, its notice then drops touchy
+        assert bus.subscriber_count == 1
+        kinds = [e.kind for e in survivor]
+        assert kinds == ["tick", "subscriber_dropped",
+                         "subscriber_dropped"]
+        errors = {e.get("error") for e in survivor[1:]}
+        assert errors == {"RuntimeError", "ValueError"}
+
+    def test_concurrent_publishes_drop_a_bad_subscriber_once(self):
+        bus = EventBus()
+        notices = []
+        lock = threading.Lock()
+
+        def collect(event):
+            if event.kind == "subscriber_dropped":
+                with lock:
+                    notices.append(event)
+
+        bus.subscribe(collect)
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe(bad)
+
+        def publish():
+            for seq in range(20):
+                bus.publish(_tick(seq))
+
+        workers = [threading.Thread(target=publish) for _ in range(6)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        # racing publishers may all see the bad hook fail, but exactly
+        # one wins the pop and announces the drop
+        assert len(notices) == 1
+        assert bus.subscriber_count == 1

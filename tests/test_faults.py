@@ -1,0 +1,206 @@
+"""The deterministic fault-injection harness (``REPRO_FAULTS``)."""
+
+import json
+import time
+
+import pytest
+
+from repro.api import OptimizationRequest, OptimizerSession
+from repro.api.resilience import (RetryPolicy, install_resilient_llm,
+                                  reset_resilience)
+from repro.ir import parse_scop
+from repro.testing.faults import (FaultClause, FaultInjected, FaultPlan,
+                                  FaultTimeout, MalformedReply,
+                                  active_plan, install_plan, maybe_fault,
+                                  register_fault_backends)
+
+KERNEL = """
+scop axpyish(N) {
+  array X[N] output;
+  array Y[N];
+  for (i = 0; i < N; i++)
+    X[i] = X[i] + 2.0 * Y[i];
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    install_plan(None)
+    reset_resilience()
+    yield
+    install_plan(None)
+    reset_resilience()
+
+
+class TestSpecParsing:
+    def test_defaults_to_once(self):
+        plan = FaultPlan.parse("llm.generate:raise")
+        [clause] = plan.clauses
+        assert clause == FaultClause("llm.generate", "raise")
+        assert clause.times == 1
+
+    def test_full_grammar(self):
+        plan = FaultPlan.parse(
+            "llm.generate:delay:seconds=0.2:always;"
+            "compiler.optimize:malformed:every=3:after=2")
+        first, second = plan.clauses
+        assert first.kind == "delay"
+        assert first.seconds == 0.2
+        assert first.times is None  # always
+        assert second.every == 3
+        assert second.after == 2
+
+    def test_describe_round_trips_the_clauses(self):
+        plan = FaultPlan.parse("a:raise:times=2;b:timeout")
+        assert plan.describe() == [
+            {"site": "a", "kind": "raise", "times": 2, "every": None,
+             "after": 0, "seconds": 0.05},
+            {"site": "b", "kind": "timeout", "times": 1, "every": None,
+             "after": 0, "seconds": 0.05},
+        ]
+
+    @pytest.mark.parametrize("spec", [
+        "llm.generate",                 # no kind
+        "llm.generate:explode",         # unknown kind
+        "llm.generate:raise:bogus",     # bare option that isn't always
+        "llm.generate:raise:count=2",   # unknown option
+    ])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+
+class TestSchedule:
+    def fired(self, spec, site, calls):
+        plan = FaultPlan.parse(spec)
+        outcomes = []
+        for _ in range(calls):
+            try:
+                plan.check(site)
+            except Exception:
+                outcomes.append(True)
+            else:
+                outcomes.append(False)
+        return outcomes
+
+    def test_times_budget(self):
+        assert self.fired("s:raise:times=2", "s", 5) == \
+            [True, True, False, False, False]
+
+    def test_always(self):
+        assert self.fired("s:raise:always", "s", 3) == [True] * 3
+
+    def test_every_kth_call(self):
+        assert self.fired("s:raise:every=3", "s", 7) == \
+            [False, False, True, False, False, True, False]
+
+    def test_after_skips_warmup(self):
+        assert self.fired("s:raise:after=2:times=1", "s", 5) == \
+            [False, False, True, False, False]
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan.parse("a:raise:times=1")
+        plan.check("b")  # different site: no fault, no budget consumed
+        with pytest.raises(FaultInjected):
+            plan.check("a")
+        assert plan.counts() == (("a:raise", 1, 1),)
+
+    def test_schedule_is_deterministic(self):
+        spec = "s:raise:every=2:after=1"
+        runs = [self.fired(spec, "s", 9) for _ in range(2)]
+        assert runs[0] == runs[1]
+
+
+class TestFaultKinds:
+    def test_raise_is_transient_connection_error(self):
+        install_plan(FaultPlan.parse("s:raise"))
+        with pytest.raises(FaultInjected) as excinfo:
+            maybe_fault("s")
+        assert isinstance(excinfo.value, ConnectionError)
+        assert excinfo.value.transient is True
+
+    def test_timeout(self):
+        install_plan(FaultPlan.parse("s:timeout"))
+        with pytest.raises(FaultTimeout) as excinfo:
+            maybe_fault("s")
+        assert isinstance(excinfo.value, TimeoutError)
+        assert excinfo.value.transient is True
+
+    def test_malformed(self):
+        install_plan(FaultPlan.parse("s:malformed"))
+        with pytest.raises(MalformedReply) as excinfo:
+            maybe_fault("s")
+        assert excinfo.value.transient is True
+        assert "garbage" in excinfo.value.payload
+
+    def test_delay_sleeps_and_falls_through(self):
+        install_plan(FaultPlan.parse("s:delay:seconds=0.05"))
+        start = time.monotonic()
+        maybe_fault("s")  # must not raise
+        assert time.monotonic() - start >= 0.05
+
+
+class TestActivePlan:
+    def test_no_plan_is_a_noop(self):
+        assert active_plan() is None
+        maybe_fault("anything")
+
+    def test_installed_plan_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "s:raise:always")
+        pinned = FaultPlan.parse("other:raise")
+        install_plan(pinned)
+        assert active_plan() is pinned
+
+    def test_env_plan_is_cached_so_counters_persist(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "s:raise:times=1")
+        assert active_plan() is active_plan()
+        with pytest.raises(FaultInjected):
+            maybe_fault("s")
+        maybe_fault("s")  # budget of 1 already spent
+        assert active_plan().counts() == (("s:raise", 2, 1),)
+
+    def test_env_plan_refreshes_on_spec_change(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "s:raise:times=1")
+        first = active_plan()
+        monkeypatch.setenv("REPRO_FAULTS", "s:timeout:times=1")
+        second = active_plan()
+        assert second is not first
+        assert second.clauses[0].kind == "timeout"
+
+
+class TestInjectedBackends:
+    def test_register_is_idempotent(self):
+        from repro.api.registry import LLM_BACKENDS, OPTIMIZER_REGISTRY
+
+        register_fault_backends()
+        register_fault_backends()
+        assert "faulty" in LLM_BACKENDS.names()
+        assert "faulty-pluto" in OPTIMIZER_REGISTRY.names()
+
+    def test_injected_faults_never_change_results(self):
+        """The headline determinism contract.
+
+        A run whose ``llm.generate`` calls fail twice and get retried
+        must produce the byte-identical result document of a fault-free
+        run: faults fire before the inner model consumes randomness.
+        """
+        register_fault_backends()
+        alias = install_resilient_llm(
+            "faulty", RetryPolicy(attempts=4, base=0.0001, cap=0.0005))
+        session = OptimizerSession(dataset_size=40, llm_backend=alias)
+        request = OptimizationRequest.make(
+            parse_scop(KERNEL), {"N": 1500}, {"N": 8},
+            system="looprag", persona="deepseek")
+
+        clean = session.optimize(request, use_store=False)
+        plan = FaultPlan.parse("llm.generate:raise:times=2")
+        install_plan(plan)
+        faulted = session.optimize(request, use_store=False)
+
+        site, calls, injected = plan.counts()[0]
+        assert site == "llm.generate:raise"
+        assert injected == 2
+        assert calls > injected  # the retried calls went through
+        assert json.dumps(faulted.to_json_dict(), sort_keys=True) == \
+            json.dumps(clean.to_json_dict(), sort_keys=True)

@@ -1,0 +1,242 @@
+"""Retry/backoff, circuit breakers, and the resilient registry wrappers."""
+
+import pytest
+
+from repro.api.registry import LLM_BACKENDS, OPTIMIZER_REGISTRY
+from repro.api.resilience import (RESILIENCE_BUS, CircuitBreaker,
+                                  CircuitOpenError, ResilientCall,
+                                  RetryPolicy, breaker_for, breaker_states,
+                                  install_resilient_llm,
+                                  install_resilient_optimizer, is_transient,
+                                  reset_resilience)
+from repro.cancellation import Cancelled
+from repro.compilers import OPTIMIZER_BASE
+from repro.testing.faults import (FaultPlan, install_plan,
+                                  register_fault_backends)
+
+FAST = RetryPolicy(attempts=4, base=0.0001, cap=0.0005)
+
+
+@pytest.fixture(autouse=True)
+def _clean_resilience():
+    reset_resilience()
+    install_plan(None)
+    yield
+    install_plan(None)
+    reset_resilience()
+
+
+@pytest.fixture()
+def bus_events():
+    collected = []
+    unsubscribe = RESILIENCE_BUS.subscribe(collected.append)
+    yield collected
+    unsubscribe()
+
+
+class TestRetryPolicy:
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_ATTEMPTS", "7")
+        monkeypatch.setenv("REPRO_RETRY_BASE", "0.25")
+        policy = RetryPolicy.from_env()
+        assert policy.attempts == 7
+        assert policy.base == 0.25
+        # explicit overrides beat the environment
+        assert RetryPolicy.from_env(attempts=2).attempts == 2
+
+    def test_transience_classification(self):
+        policy = RetryPolicy()
+        assert is_transient(ConnectionError("x"), policy)
+        assert is_transient(TimeoutError("x"), policy)
+
+        class Weird(Exception):
+            transient = True
+
+        assert is_transient(Weird(), policy)
+        assert not is_transient(ValueError("x"), policy)
+        assert not is_transient(Cancelled(), policy)
+        assert not is_transient(CircuitOpenError("s", 1.0), policy)
+
+
+class TestResilientCall:
+    def test_retries_then_succeeds_with_events(self, bus_events):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ConnectionError("nope")
+            return "ok"
+
+        slept = []
+        call = ResilientCall("test:site", policy=FAST, sleep=slept.append)
+        assert call(flaky) == "ok"
+        assert calls["n"] == 3
+        assert len(slept) == 2
+        assert [e.kind for e in bus_events] == ["retry", "retry"]
+        assert bus_events[0].get("site") == "test:site"
+        assert bus_events[0].get("attempt") == 1
+        assert call.breaker.state == CircuitBreaker.CLOSED
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        def delays_of(site):
+            slept = []
+            call = ResilientCall(site, policy=FAST, sleep=slept.append,
+                                 breaker=CircuitBreaker(site, 100))
+            with pytest.raises(ConnectionError):
+                call(lambda: (_ for _ in ()).throw(ConnectionError()))
+            return slept
+
+        first = delays_of("test:jitter")
+        second = delays_of("test:jitter")
+        assert first == second  # same site+seed, same schedule
+        assert len(first) == FAST.attempts - 1
+        assert all(FAST.base <= d <= FAST.cap for d in first)
+
+    def test_non_transient_raises_immediately(self, bus_events):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("permanent")
+
+        call = ResilientCall("test:site", policy=FAST,
+                             sleep=lambda s: None)
+        with pytest.raises(ValueError):
+            call(broken)
+        assert calls["n"] == 1
+        assert bus_events == []
+        assert call.breaker.state == CircuitBreaker.CLOSED
+
+    def test_gives_up_after_attempts(self, bus_events):
+        calls = {"n": 0}
+
+        def always_down():
+            calls["n"] += 1
+            raise TimeoutError("down")
+
+        call = ResilientCall("test:site", policy=FAST,
+                             breaker=CircuitBreaker("test:site", 100),
+                             sleep=lambda s: None)
+        with pytest.raises(TimeoutError):
+            call(always_down)
+        assert calls["n"] == FAST.attempts
+        kinds = [e.kind for e in bus_events]
+        assert kinds == ["retry", "retry", "retry", "retry_give_up"]
+        assert bus_events[-1].get("attempts") == FAST.attempts
+
+    def test_breaker_trip_short_circuits_retries(self, bus_events):
+        calls = {"n": 0}
+
+        def always_down():
+            calls["n"] += 1
+            raise ConnectionError("down")
+
+        breaker = CircuitBreaker("test:trip", failure_threshold=2)
+        call = ResilientCall("test:trip", policy=FAST, breaker=breaker,
+                             sleep=lambda s: None)
+        with pytest.raises(ConnectionError):
+            call(always_down)
+        # gave up as soon as the breaker tripped, not after attempts
+        assert calls["n"] == 2
+        assert breaker.state == CircuitBreaker.OPEN
+        kinds = [e.kind for e in bus_events]
+        assert "breaker_open" in kinds and "retry_give_up" in kinds
+
+        # subsequent calls fail fast without touching the function
+        with pytest.raises(CircuitOpenError) as excinfo:
+            call(always_down)
+        assert calls["n"] == 2
+        assert excinfo.value.site == "test:trip"
+        assert excinfo.value.retry_after > 0
+
+
+class TestCircuitBreaker:
+    def test_trip_probe_close_cycle(self, bus_events):
+        now = [0.0]
+        breaker = CircuitBreaker("test:cycle", failure_threshold=2,
+                                 reset_timeout=10.0,
+                                 clock=lambda: now[0])
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.allow()
+        assert 0 < excinfo.value.retry_after <= 10.0
+
+        now[0] = 10.0
+        breaker.allow()  # becomes the half-open probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+        kinds = [e.kind for e in bus_events]
+        assert kinds == ["breaker_open", "breaker_half_open",
+                         "breaker_close"]
+
+    def test_half_open_failure_reopens(self):
+        now = [0.0]
+        breaker = CircuitBreaker("test:reopen", failure_threshold=1,
+                                 reset_timeout=5.0, clock=lambda: now[0])
+        breaker.record_failure()
+        now[0] = 5.0
+        breaker.allow()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # clock has not advanced again
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker("test:streak", failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED  # streak broken
+
+    def test_registry_and_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "2")
+        monkeypatch.setenv("REPRO_BREAKER_RESET", "7.5")
+        breaker = breaker_for("test:env")
+        assert breaker.failure_threshold == 2
+        assert breaker.reset_timeout == 7.5
+        assert breaker_for("test:env") is breaker
+        assert breaker_states() == {"test:env": "closed"}
+        reset_resilience()
+        assert breaker_states() == {}
+
+
+class TestRegistryWrappers:
+    def test_install_resilient_llm_registers_alias(self):
+        alias = install_resilient_llm("simulated", FAST)
+        assert alias == "resilient:simulated"
+        assert "resilient:simulated" in LLM_BACKENDS.names()
+        # idempotent, and already-wrapped names pass through
+        assert install_resilient_llm("simulated", FAST) == alias
+        assert install_resilient_llm(alias) == alias
+
+    def test_resilient_optimizer_retries_injected_faults(self, gemm,
+                                                         bus_events):
+        register_fault_backends()
+        alias = install_resilient_optimizer("pluto", FAST)
+        assert alias == "resilient:pluto"
+        wrapper = OPTIMIZER_REGISTRY.get(alias)()
+        assert wrapper.base_compiler == OPTIMIZER_BASE["pluto"]
+        params = {p: 8 for p in gemm.params}
+        clean = wrapper.optimize(gemm, params)
+
+        faulty_alias = install_resilient_optimizer("faulty-pluto", FAST)
+        faulty = OPTIMIZER_REGISTRY.get(faulty_alias)()
+        plan = FaultPlan.parse("compiler.optimize:raise:times=1")
+        install_plan(plan)
+        retried = faulty.optimize(gemm, params)
+        assert plan.counts() == (("compiler.optimize:raise", 2, 1),)
+        assert retried.ok == clean.ok
+        retry_events = [e for e in bus_events if e.kind == "retry"]
+        assert [e.get("site") for e in retry_events] == \
+            ["compiler:faulty-pluto"]

@@ -1,0 +1,611 @@
+"""The ``repro serve`` daemon, end to end over real HTTP.
+
+Every robustness claim is exercised against a live in-process daemon
+with deterministic injected faults: overload answers 503 +
+``Retry-After``, deadlines answer 504, transient backend failures are
+retried to a byte-identical result, persistent failures trip the
+breaker into fail-fast, and drain lets in-flight work finish.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import OptimizationRequest, OptimizerSession
+from repro.api.resilience import reset_resilience
+from repro.cancellation import Cancelled, CancelToken
+from repro.ir import parse_scop
+from repro.serve import (AdmissionController, BadRequest, Metrics,
+                         Rejected, ServeConfig, ServeDaemon)
+from repro.testing.faults import FaultPlan, install_plan
+
+KERNEL = """
+scop axpyish(N) {
+  array X[N] output;
+  array Y[N];
+  for (i = 0; i < N; i++)
+    X[i] = X[i] + 2.0 * Y[i];
+}
+"""
+
+
+# ----------------------------------------------------------------------
+# HTTP helpers
+# ----------------------------------------------------------------------
+def _request(addr, method, path, body=None, headers=None, timeout=120):
+    conn = http.client.HTTPConnection(*addr, timeout=timeout)
+    try:
+        payload = None if body is None else json.dumps(body)
+        base = {"Content-Type": "application/json"}
+        base.update(headers or {})
+        conn.request(method, path, payload, base)
+        resp = conn.getresponse()
+        return resp.status, resp.read().decode(), dict(resp.getheaders())
+    finally:
+        conn.close()
+
+
+def _post(addr, body, headers=None, timeout=120):
+    return _request(addr, "POST", "/v1/optimize", body, headers, timeout)
+
+
+def _get(addr, path):
+    status, text, headers = _request(addr, "GET", path)
+    return status, json.loads(text), headers
+
+
+def _stream(addr, body, timeout=120):
+    conn = http.client.HTTPConnection(*addr, timeout=timeout)
+    try:
+        conn.request("POST", "/v1/optimize", json.dumps(body),
+                     {"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        lines = [line.decode().strip() for line in resp
+                 if line.strip()]
+        return resp.status, lines
+    finally:
+        conn.close()
+
+
+def _wait_until(predicate, timeout=10.0):
+    end = time.monotonic() + timeout
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def _canonical_request():
+    return OptimizationRequest.make(
+        parse_scop(KERNEL), {"N": 1500}, {"N": 8},
+        system="looprag", persona="deepseek")
+
+
+@pytest.fixture()
+def make_daemon(monkeypatch):
+    monkeypatch.setenv("REPRO_RETRY_BASE", "0.001")
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    reset_resilience()
+    install_plan(None)
+    daemons = []
+
+    def make(**overrides):
+        options = dict(host="127.0.0.1", port=0, max_inflight=4,
+                       queue_depth=4, per_client=4, drain_grace=10.0,
+                       default_session={"dataset_size": 40})
+        options.update(overrides)
+        daemon = ServeDaemon(ServeConfig(**options))
+        daemon.start()
+        daemons.append(daemon)
+        return daemon
+
+    yield make
+    install_plan(None)
+    for daemon in daemons:
+        daemon.stop(timeout=30)
+    reset_resilience()
+
+
+# ----------------------------------------------------------------------
+# endpoints
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_healthz_metrics_and_404(self, make_daemon):
+        daemon = make_daemon()
+        status, doc, _ = _get(daemon.address, "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["inflight"] == 0
+
+        status, doc, _ = _get(daemon.address, "/metrics")
+        assert status == 200
+        assert set(doc) == {"counters", "gauges", "latency"}
+        assert doc["gauges"]["inflight"] == 0
+        assert doc["gauges"]["draining"] is False
+        assert set(doc["latency"]) == {"count", "p50_ms", "p95_ms",
+                                       "max_ms"}
+
+        status, doc, _ = _get(daemon.address, "/nope")
+        assert status == 404
+        assert doc["error"]["kind"] == "not_found"
+
+    def test_bad_requests_answer_400_and_never_kill_the_daemon(
+            self, make_daemon):
+        daemon = make_daemon()
+        cases = [
+            {},                                      # no request at all
+            {"request": {"source": "scop ((("}},     # unparseable SCoP
+            {"request": {"source": KERNEL},
+             "session": {"bogus_knob": 1}},          # unknown field
+        ]
+        for body in cases:
+            status, text, _ = _post(daemon.address, body)
+            assert status == 400
+            assert json.loads(text)["error"]["kind"] == "bad_request"
+
+        conn = http.client.HTTPConnection(*daemon.address, timeout=30)
+        try:  # syntactically invalid JSON body
+            conn.request("POST", "/v1/optimize", "not json at all",
+                         {"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            assert resp.status == 400
+            assert json.loads(resp.read())["error"]["kind"] == \
+                "bad_request"
+        finally:
+            conn.close()
+
+        status, doc, _ = _get(daemon.address, "/healthz")
+        assert status == 200 and doc["status"] == "ok"
+        assert daemon.metrics.get("failed_total") == 4
+
+
+# ----------------------------------------------------------------------
+# the headline contract: daemon results == in-process results
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    def test_daemon_result_matches_in_process_optimize(self,
+                                                       make_daemon):
+        daemon = make_daemon()
+        status, text, _ = _post(daemon.address, {
+            "request": {"source": KERNEL}, "use_store": False})
+        assert status == 200
+
+        session = OptimizerSession(dataset_size=40)
+        result = session.optimize(_canonical_request(), use_store=False)
+        expected = json.dumps(result.to_json_dict(), indent=2,
+                              sort_keys=True)
+        assert text == expected
+
+
+# ----------------------------------------------------------------------
+# admission: overload and per-client push-back
+# ----------------------------------------------------------------------
+class TestAdmissionOverHTTP:
+    def test_overload_answers_503_with_retry_after(self, make_daemon):
+        daemon = make_daemon(max_inflight=1, queue_depth=0)
+        install_plan(FaultPlan.parse(
+            "llm.generate:delay:seconds=0.03:always"))
+        slow = {}
+
+        def run_slow():
+            slow["response"] = _post(daemon.address, {
+                "request": {"source": KERNEL},
+                "session": {"llm_backend": "faulty"},
+                "deadline_s": 60, "use_store": False})
+
+        worker = threading.Thread(target=run_slow)
+        worker.start()
+        assert _wait_until(lambda: daemon.admission.inflight >= 1)
+
+        status, text, headers = _post(daemon.address, {
+            "request": {"source": KERNEL}, "use_store": False})
+        assert status == 503
+        doc = json.loads(text)
+        assert doc["error"]["kind"] == "overloaded"
+        assert headers["Retry-After"] == str(doc["error"]["retry_after"])
+        assert int(headers["Retry-After"]) >= 1
+
+        worker.join(timeout=60)
+        status, text, _ = slow["response"]
+        assert status == 200  # the in-flight request was untouched
+        assert daemon.metrics.get("rejected_overloaded_total") == 1
+
+    def test_per_client_limit(self, make_daemon):
+        daemon = make_daemon(per_client=1, max_inflight=4,
+                             queue_depth=4)
+        install_plan(FaultPlan.parse(
+            "llm.generate:delay:seconds=0.03:always"))
+        alice = {"X-Client-Id": "alice"}
+        slow = {}
+
+        def run_slow():
+            slow["response"] = _post(daemon.address, {
+                "request": {"source": KERNEL},
+                "session": {"llm_backend": "faulty"},
+                "deadline_s": 60, "use_store": False}, headers=alice)
+
+        worker = threading.Thread(target=run_slow)
+        worker.start()
+        assert _wait_until(lambda: daemon.admission.inflight >= 1)
+
+        status, text, headers = _post(daemon.address, {
+            "request": {"source": KERNEL}, "use_store": False},
+            headers=alice)
+        assert status == 503
+        assert json.loads(text)["error"]["kind"] == "client_limit"
+        assert "Retry-After" in headers
+
+        # a different client is not throttled by alice's misbehavior
+        status, _, _ = _post(daemon.address, {
+            "request": {"source": KERNEL}, "use_store": False},
+            headers={"X-Client-Id": "bob"})
+        assert status == 200
+
+        worker.join(timeout=60)
+        assert slow["response"][0] == 200
+        assert daemon.metrics.get("rejected_client_limit_total") == 1
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+class TestDeadlines:
+    def test_deadline_expiry_answers_504(self, make_daemon):
+        daemon = make_daemon()
+        install_plan(FaultPlan.parse(
+            "llm.generate:delay:seconds=0.05:always"))
+        start = time.monotonic()
+        status, text, _ = _post(daemon.address, {
+            "request": {"source": KERNEL},
+            "session": {"llm_backend": "faulty"},
+            "deadline_s": 0.3, "use_store": False})
+        elapsed = time.monotonic() - start
+        assert status == 504
+        assert json.loads(text)["error"]["kind"] == "deadline"
+        assert elapsed < 10.0  # cancelled cooperatively, did not run out
+        assert daemon.metrics.get("deadline_total") == 1
+        assert daemon.metrics.get("cancelled_total") == 1
+
+        # the slot is released in the handler's finally, which can land
+        # just after the client reads the 504 — wait for it to settle
+        assert _wait_until(lambda: daemon.admission.inflight == 0)
+        status, doc, _ = _get(daemon.address, "/healthz")
+        assert status == 200 and doc["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# resilience: retries recover, breakers fail fast
+# ----------------------------------------------------------------------
+class TestResilienceOverHTTP:
+    def test_transient_faults_are_retried_to_byte_identical_result(
+            self, make_daemon):
+        daemon = make_daemon()
+        body = {"request": {"source": KERNEL},
+                "session": {"llm_backend": "faulty"},
+                "use_store": False}
+        status, clean, _ = _post(daemon.address, body)
+        assert status == 200
+
+        install_plan(FaultPlan.parse("llm.generate:raise:times=2"))
+        status, faulted, _ = _post(daemon.address, body)
+        assert status == 200
+        assert faulted == clean  # retries leave no trace in the result
+        assert daemon.metrics.get("retries_total") >= 2
+        snapshot = daemon.metrics.snapshot()
+        assert snapshot["gauges"]["breakers"]["llm:faulty"] == "closed"
+
+    def test_persistent_failure_trips_the_breaker_to_fail_fast(
+            self, monkeypatch, make_daemon):
+        monkeypatch.setenv("REPRO_RETRY_ATTEMPTS", "2")
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "3")
+        daemon = make_daemon()
+        install_plan(FaultPlan.parse("llm.generate:raise:always"))
+        body = {"request": {"source": KERNEL},
+                "session": {"llm_backend": "faulty"},
+                "use_store": False}
+
+        status, text, _ = _post(daemon.address, body)
+        assert status == 502  # retries exhausted: honest backend error
+        assert json.loads(text)["error"]["kind"] == "backend"
+
+        status, text, _ = _post(daemon.address, body)
+        assert status == 502  # third failure trips the breaker
+
+        status, text, headers = _post(daemon.address, body)
+        assert status == 503  # now failing fast, no backend call at all
+        doc = json.loads(text)
+        assert doc["error"]["kind"] == "breaker_open"
+        assert doc["error"]["site"] == "llm:faulty"
+        assert int(headers["Retry-After"]) >= 1
+
+        assert daemon.metrics.get("breaker_opens_total") == 1
+        snapshot = daemon.metrics.snapshot()
+        assert snapshot["gauges"]["breakers"]["llm:faulty"] == "open"
+
+        status, doc, _ = _get(daemon.address, "/healthz")
+        assert status == 200  # the daemon itself is perfectly healthy
+
+
+# ----------------------------------------------------------------------
+# graceful drain
+# ----------------------------------------------------------------------
+class TestDrain:
+    def test_drain_finishes_inflight_and_rejects_new_work(
+            self, make_daemon):
+        daemon = make_daemon(drain_grace=30.0)
+        install_plan(FaultPlan.parse(
+            "llm.generate:delay:seconds=0.05:always"))
+        slow = {}
+
+        def run_slow():
+            slow["response"] = _post(daemon.address, {
+                "request": {"source": KERNEL},
+                "session": {"llm_backend": "faulty"},
+                "use_store": False})
+
+        worker = threading.Thread(target=run_slow)
+        worker.start()
+        assert _wait_until(lambda: daemon.admission.inflight >= 1)
+        daemon.begin_drain(reason="test")
+
+        status, text, _ = _post(daemon.address, {
+            "request": {"source": KERNEL}, "use_store": False})
+        assert status == 503
+        assert json.loads(text)["error"]["kind"] == "draining"
+        status, doc, _ = _get(daemon.address, "/healthz")
+        assert status == 503 and doc["status"] == "draining"
+
+        worker.join(timeout=60)
+        status, text, _ = slow["response"]
+        assert status == 200  # in-flight work finished cleanly
+        assert daemon._drained.wait(30)
+        assert daemon.metrics.get("drains_total") == 1
+
+    def test_drain_cancels_work_past_the_grace_period(self,
+                                                      make_daemon):
+        daemon = make_daemon(drain_grace=0.2)
+        install_plan(FaultPlan.parse(
+            "llm.generate:delay:seconds=0.2:always"))
+        slow = {}
+
+        def run_slow():
+            slow["response"] = _post(daemon.address, {
+                "request": {"source": KERNEL},
+                "session": {"llm_backend": "faulty"},
+                "use_store": False})
+
+        worker = threading.Thread(target=run_slow)
+        worker.start()
+        assert _wait_until(lambda: daemon.admission.inflight >= 1)
+        daemon.begin_drain(reason="test")
+        worker.join(timeout=60)
+
+        status, text, _ = slow["response"]
+        assert status == 503
+        assert json.loads(text)["error"]["kind"] == "drain"
+        assert daemon._drained.wait(30)
+
+
+# ----------------------------------------------------------------------
+# streaming
+# ----------------------------------------------------------------------
+class TestStreaming:
+    def test_ndjson_events_then_result(self, make_daemon):
+        daemon = make_daemon()
+        status, lines = _stream(daemon.address, {
+            "request": {"source": KERNEL}, "stream": True,
+            "use_store": False})
+        assert status == 200
+        docs = [json.loads(line) for line in lines]
+        kinds = [doc["kind"] for doc in docs]
+        assert kinds[0] == "request"
+        assert "selected" in kinds
+        assert kinds[-1] == "result"
+        events = docs[:-1]
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+        final = docs[-1]
+        final.pop("kind")
+        session = OptimizerSession(dataset_size=40)
+        result = session.optimize(_canonical_request(), use_store=False)
+        assert final == result.to_json_dict(include_events=False)
+        assert daemon.metrics.get("streams_total") == 1
+
+    def test_concurrent_streams_see_only_their_own_events(self,
+                                                          make_daemon):
+        daemon = make_daemon()
+        out = {}
+
+        def run(name):
+            out[name] = _stream(daemon.address, {
+                "request": {"source": KERNEL}, "stream": True,
+                "use_store": False})
+
+        workers = [threading.Thread(target=run, args=(name,))
+                   for name in ("a", "b")]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+
+        for name in ("a", "b"):
+            status, lines = out[name]
+            assert status == 200
+            docs = [json.loads(line) for line in lines]
+            assert docs[-1]["kind"] == "result"
+            events = docs[:-1]
+            # request-local sequence with no foreign events interleaved
+            assert [e["seq"] for e in events] == \
+                list(range(len(events)))
+
+
+# ----------------------------------------------------------------------
+# session pool + request materialization (in-process)
+# ----------------------------------------------------------------------
+class TestSessionPool:
+    def test_pool_reuses_and_lru_evicts(self, make_daemon):
+        daemon = make_daemon(max_sessions=1)
+        first = daemon.session_for({"seed": 0})
+        assert daemon.session_for({"seed": 0}) is first
+        second = daemon.session_for({"seed": 1})
+        assert second is not first
+        assert daemon._session_count() == 1  # LRU bound held
+
+    def test_resilience_wraps_the_backend(self, make_daemon):
+        daemon = make_daemon()
+        assert daemon._effective_spec({})["llm_backend"] == \
+            "resilient:simulated"
+        plain = make_daemon(resilience=False)
+        assert "llm_backend" not in plain._effective_spec({})
+
+    def test_unknown_session_field_is_rejected(self, make_daemon):
+        daemon = make_daemon()
+        with pytest.raises(BadRequest, match="bogus"):
+            daemon.session_for({"bogus": 1})
+
+
+class TestMaterializeRequest:
+    def test_defaults(self):
+        request = ServeDaemon.materialize_request({"source": KERNEL})
+        echo = request.echo()
+        assert echo["target"] == "axpyish"
+        assert echo["system"] == "looprag"
+        assert echo["perf"] == {"N": 1500}
+        assert echo["test"] == {"N": 8}
+
+    @pytest.mark.parametrize("entry,match", [
+        ("not a dict", "must be an object"),
+        ({}, "source"),
+        ({"source": "scop ((("}, "unparseable"),
+        ({"source": KERNEL, "system": "not-a-system"},
+         "not-a-system"),
+    ])
+    def test_bad_entries(self, entry, match):
+        with pytest.raises(BadRequest, match=match):
+            ServeDaemon.materialize_request(entry)
+
+
+# ----------------------------------------------------------------------
+# admission controller (unit)
+# ----------------------------------------------------------------------
+class TestAdmissionController:
+    def test_inflight_then_queue_then_reject(self):
+        admission = AdmissionController(max_inflight=1, queue_depth=1,
+                                        per_client=10)
+        admission.acquire("a")
+        acquired = threading.Event()
+
+        def queued_acquire():
+            admission.acquire("b")
+            acquired.set()
+
+        worker = threading.Thread(target=queued_acquire)
+        worker.start()
+        assert _wait_until(lambda: admission.queued == 1)
+
+        with pytest.raises(Rejected) as excinfo:
+            admission.acquire("c")
+        assert excinfo.value.reason == "overloaded"
+        assert excinfo.value.retry_after >= 1.0
+
+        admission.release("a")
+        assert acquired.wait(5.0)
+        worker.join()
+        admission.release("b")
+        assert admission.inflight == 0
+        assert admission.queued == 0
+
+    def test_per_client_limit(self):
+        admission = AdmissionController(max_inflight=4, queue_depth=4,
+                                        per_client=1)
+        admission.acquire("a")
+        with pytest.raises(Rejected) as excinfo:
+            admission.acquire("a")
+        assert excinfo.value.reason == "client_limit"
+        admission.acquire("b")  # other clients are unaffected
+        admission.release("a")
+        admission.acquire("a")  # slot freed
+
+    def test_queued_waiter_honors_cancellation(self):
+        admission = AdmissionController(max_inflight=1, queue_depth=2,
+                                        per_client=10)
+        admission.acquire("a")
+        token = CancelToken()
+        outcome = []
+
+        def queued_acquire():
+            try:
+                admission.acquire("b", token)
+            except Cancelled as exc:
+                outcome.append(exc.reason)
+
+        worker = threading.Thread(target=queued_acquire)
+        worker.start()
+        assert _wait_until(lambda: admission.queued == 1)
+        token.cancel("drain")
+        worker.join(timeout=5.0)
+        assert outcome == ["drain"]
+        assert admission.queued == 0
+        # the client count was rolled back: b can come straight back
+        admission.release("a")
+        admission.acquire("b")
+
+    def test_wait_idle(self):
+        admission = AdmissionController(max_inflight=1, queue_depth=0,
+                                        per_client=1)
+        assert admission.wait_idle(0.05)
+        admission.acquire("a")
+        assert not admission.wait_idle(0.05)
+        threading.Timer(0.05, admission.release, args=("a",)).start()
+        assert admission.wait_idle(5.0)
+
+
+# ----------------------------------------------------------------------
+# config + metrics (unit)
+# ----------------------------------------------------------------------
+class TestServeConfig:
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_INFLIGHT", "2")
+        monkeypatch.setenv("REPRO_SERVE_QUEUE", "3")
+        monkeypatch.setenv("REPRO_SERVE_DEADLINE", "1.5")
+        config = ServeConfig.from_env()
+        assert config.max_inflight == 2
+        assert config.queue_depth == 3
+        assert config.default_deadline == 1.5
+        assert ServeConfig.from_env(max_inflight=9).max_inflight == 9
+
+    def test_with_overrides_filters_none(self):
+        config = ServeConfig()
+        same = config.with_overrides(port=None, host=None)
+        assert same == config
+        changed = config.with_overrides(port=1234, max_inflight=None)
+        assert changed.port == 1234
+        assert changed.max_inflight == config.max_inflight
+
+
+class TestMetrics:
+    def test_counters_and_percentiles(self):
+        metrics = Metrics()
+        metrics.inc("x")
+        metrics.inc("x", 2)
+        assert metrics.get("x") == 3
+        for ms in range(1, 101):
+            metrics.observe_latency(ms / 1000.0)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["x"] == 3
+        assert snapshot["latency"]["count"] == 100
+        assert snapshot["latency"]["p50_ms"] == pytest.approx(51.0)
+        assert snapshot["latency"]["p95_ms"] == pytest.approx(95.0)
+        assert snapshot["latency"]["max_ms"] == pytest.approx(100.0)
+
+    def test_failing_gauge_never_breaks_snapshot(self):
+        metrics = Metrics()
+        metrics.gauge("ok", lambda: 7)
+        metrics.gauge("broken", lambda: 1 / 0)
+        snapshot = metrics.snapshot()
+        assert snapshot["gauges"]["ok"] == 7
+        assert snapshot["gauges"]["broken"] is None
