@@ -6,7 +6,7 @@ JOBS ?= 4
 
 export PYTHONPATH := src
 
-.PHONY: test test-quick test-reference test-store test-serve bench perf clean-cache
+.PHONY: test test-quick test-reference test-store test-serve test-chaos bench perf clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +37,15 @@ test-serve:
 	    tests/test_serve_daemon.py \
 	    tests/test_events_concurrency.py
 	$(PYTHON) scripts/serve_smoke.py
+
+# process-level chaos: supervised worker isolation (SIGKILL/OOM/hang of
+# workers, quarantine) and the durable request journal (crash the
+# daemon mid-request, --recover replays byte-identically)
+test-chaos:
+	$(PYTHON) -m pytest -x -q \
+	    tests/test_serve_supervisor.py \
+	    tests/test_serve_journal.py
+	$(PYTHON) scripts/serve_chaos_smoke.py
 
 # the executable specifications (scalar interpreter + per-instance
 # dependence walk) must stay green on their own, not just as oracles

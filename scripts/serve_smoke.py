@@ -99,7 +99,7 @@ def main():
          + env["REPRO_FAULTS"])
     proc = subprocess.Popen(
         [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
-         "--max-inflight", "1", "--queue-depth", "0",
+         "--max-inflight", "1", "--queue-depth", "0", "--no-journal",
          "--session", json.dumps({"dataset_size": 40,
                                   "llm_backend": "faulty"})],
         cwd=REPO, env=env, stdout=subprocess.PIPE,

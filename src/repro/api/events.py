@@ -20,12 +20,28 @@ serialized artifact); emitting events never consumes pipeline RNG.
 from __future__ import annotations
 
 import logging
+import os
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import (Any, Callable, Dict, List, Mapping, Optional, Tuple)
+from typing import (Any, Callable, Deque, Dict, Mapping, Optional, Tuple)
 
 logger = logging.getLogger("repro.api.events")
+
+#: ring-buffer capacity of an :class:`EventLog` unless overridden —
+#: far above what any real optimization emits (so determinism of
+#: persisted logs is unaffected) yet a hard bound on daemon heap when a
+#: pathological request streams forever
+DEFAULT_EVENT_LOG_LIMIT = 100_000
+
+
+def _default_event_log_limit() -> int:
+    raw = os.environ.get("REPRO_EVENT_LOG_LIMIT", "")
+    try:
+        return int(raw)
+    except ValueError:
+        return DEFAULT_EVENT_LOG_LIMIT
 
 #: event kinds emitted by the session/pipeline (a vocabulary, not a
 #: closed set — subscribers must tolerate unknown kinds)
@@ -80,16 +96,35 @@ class SessionEvent:
 
 
 class EventLog:
-    """Collects one request's events with a local sequence counter."""
+    """Collects one request's events with a local sequence counter.
+
+    Memory is bounded: the log is a ring buffer of ``limit`` events
+    (``REPRO_EVENT_LOG_LIMIT``, default :data:`DEFAULT_EVENT_LOG_LIMIT`;
+    ``limit <= 0`` = unbounded).  When the ring is full the *oldest*
+    event is dropped and :attr:`dropped` counts it — live subscribers
+    still saw every event via ``forward``, only the retained tail is
+    truncated.  Sequence numbers keep counting monotonically, so a
+    truncated log is recognizable by ``events()[0].seq > 0``.
+    """
 
     def __init__(self, forward: Optional[Callable[[SessionEvent], None]]
-                 = None) -> None:
-        self._events: List[SessionEvent] = []
+                 = None, limit: Optional[int] = None) -> None:
+        if limit is None:
+            limit = _default_event_log_limit()
+        self._events: Deque[SessionEvent] = deque(
+            maxlen=limit if limit > 0 else None)
+        self._seq = 0
         self._forward = forward
+        #: events evicted from the ring (oldest-first) since creation
+        self.dropped = 0
 
     def emit(self, kind: str, **data: Any) -> SessionEvent:
-        event = SessionEvent.make(len(self._events), kind, data,
+        event = SessionEvent.make(self._seq, kind, data,
                                   wall=time.time())
+        self._seq += 1
+        if (self._events.maxlen is not None
+                and len(self._events) == self._events.maxlen):
+            self.dropped += 1
         self._events.append(event)
         if self._forward is not None:
             self._forward(event)

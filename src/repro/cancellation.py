@@ -51,6 +51,19 @@ class DeadlineExceeded(Cancelled):
         super().__init__(message, reason="deadline")
 
 
+def cancelled_from(reason: str, message: str) -> Cancelled:
+    """Rebuild the right cancellation exception from its wire form.
+
+    A supervised worker reports cancellation across a pipe as
+    ``(reason, message)``; the daemon re-raises it in the request
+    thread with the original type so the existing 503-vs-504 error
+    mapping keeps working.
+    """
+    if reason == "deadline":
+        return DeadlineExceeded(message)
+    return Cancelled(message, reason=reason)
+
+
 class CancelToken:
     """One request's cancellation state: an event plus a deadline.
 

@@ -312,7 +312,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """
     import json
 
-    from .serve import ServeConfig, ServeDaemon
+    from .serve import JournalUnavailable, ServeConfig, ServeDaemon
 
     default_session = {}
     if args.session:
@@ -325,8 +325,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         per_client=args.per_client, default_deadline=args.deadline,
         drain_grace=args.drain_grace, max_sessions=args.sessions,
         resilience=(False if args.no_resilience else None),
+        workers=args.workers, worker_memory_mb=args.worker_mem,
+        worker_cpu_s=args.worker_cpu,
+        worker_hang_timeout=args.hang_timeout,
+        worker_crash_limit=args.crash_limit,
+        journal=(False if args.no_journal else None),
+        recover=(True if args.recover else None),
         default_session=(default_session or None))
-    return ServeDaemon(config).run_forever()
+    try:
+        daemon = ServeDaemon(config)
+    except JournalUnavailable as exc:
+        raise SystemExit(f"repro serve: {exc}")
+    return daemon.run_forever()
 
 
 def _perf_candidates(program):
@@ -803,6 +813,31 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--session", metavar="JSON",
                      help="default session spec for requests that "
                           "send none, e.g. '{\"dataset_size\": 300}'")
+    srv.add_argument("--workers", type=int, default=None,
+                     help="supervised worker processes; 0 = in-process "
+                          "execution (REPRO_WORKER_POOL, default 0)")
+    srv.add_argument("--worker-mem", type=int, default=None,
+                     metavar="MB",
+                     help="per-worker RLIMIT_AS in MB "
+                          "(REPRO_WORKER_MEM_MB; 0 = unlimited)")
+    srv.add_argument("--worker-cpu", type=int, default=None,
+                     metavar="SECONDS",
+                     help="per-worker RLIMIT_CPU in seconds "
+                          "(REPRO_WORKER_CPU_S; 0 = unlimited)")
+    srv.add_argument("--hang-timeout", type=float, default=None,
+                     help="watchdog kills a worker busy longer than "
+                          "this (REPRO_WORKER_HANG, default 300)")
+    srv.add_argument("--crash-limit", type=int, default=None,
+                     help="worker crashes before a request signature "
+                          "is quarantined (REPRO_WORKER_CRASH_LIMIT, "
+                          "default 2)")
+    srv.add_argument("--no-journal", action="store_true",
+                     help="disable the write-ahead request journal "
+                          "(required to serve on a volatile store "
+                          "backend)")
+    srv.add_argument("--recover", action="store_true",
+                     help="replay admitted-but-unfinished journaled "
+                          "requests before serving")
     srv.set_defaults(func=cmd_serve)
 
     ser = sub.add_parser(

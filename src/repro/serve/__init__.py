@@ -3,17 +3,26 @@
 A stdlib-only long-lived HTTP/JSON service over warm
 :class:`~repro.api.OptimizerSession` pools, with bounded admission,
 per-request deadlines, retry/breaker resilience around backends,
-graceful drain, and ``/healthz`` + ``/metrics``.  See
-:mod:`repro.serve.daemon` for the endpoint contract and
+supervised worker-process isolation (:mod:`repro.serve.supervisor`),
+a durable write-ahead request journal (:mod:`repro.serve.journal`),
+graceful drain, and ``/healthz`` + ``/metrics`` + ``/quarantine``.
+See :mod:`repro.serve.daemon` for the endpoint contract and
 docs/architecture.md ("Service daemon & resilience") for the design.
 """
 
 from .admission import AdmissionController, Rejected
 from .config import ServeConfig
 from .daemon import BadRequest, ServeDaemon
+from .journal import (JOURNAL_STREAM, JournalUnavailable,
+                      RequestJournal, request_signature)
 from .metrics import Metrics
+from .supervisor import (QuarantineRegistry, WorkerCrashed,
+                         WorkerSupervisor)
 
 __all__ = [
     "AdmissionController", "Rejected", "ServeConfig", "BadRequest",
     "ServeDaemon", "Metrics",
+    "JOURNAL_STREAM", "JournalUnavailable", "RequestJournal",
+    "request_signature",
+    "QuarantineRegistry", "WorkerCrashed", "WorkerSupervisor",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..cancellation import CancelToken
 
@@ -32,10 +32,16 @@ class Rejected(Exception):
 
 class AdmissionController:
     def __init__(self, max_inflight: int, queue_depth: int,
-                 per_client: int) -> None:
+                 per_client: int,
+                 latency_hint: Optional[Callable[[], float]] = None
+                 ) -> None:
         self.max_inflight = max(1, max_inflight)
         self.queue_depth = max(0, queue_depth)
         self.per_client = max(1, per_client)
+        #: optional p50-latency source (seconds), e.g.
+        #: ``Metrics.latency_p50`` — turns Retry-After from a guess
+        #: into an estimate of when a slot will actually free up
+        self._latency_hint = latency_hint
         self._cond = threading.Condition()
         self._inflight = 0
         self._queued = 0
@@ -53,7 +59,31 @@ class AdmissionController:
             return self._queued
 
     def _retry_after_locked(self) -> float:
-        return min(30.0, 1.0 + float(self._queued))
+        """Seconds until a slot plausibly frees up.
+
+        With latency data: the work ahead of a returning client
+        (everything queued plus everything running) divided by the
+        service rate, at observed p50 per request.  Without data (cold
+        daemon, no hint): one second per queued request.  Clamped to
+        [1, 30] so clients neither hammer nor give up.
+        """
+        p50 = 0.0
+        if self._latency_hint is not None:
+            try:
+                p50 = float(self._latency_hint())
+            except Exception:  # a hint must never break admission
+                p50 = 0.0
+        if p50 <= 0.0:
+            return min(30.0, 1.0 + float(self._queued))
+        backlog = self._queued + self._inflight
+        estimate = backlog * p50 / float(self.max_inflight)
+        return min(30.0, max(1.0, estimate))
+
+    def retry_after_estimate(self) -> float:
+        """Public snapshot of the Retry-After estimate (for 503s built
+        outside admission, e.g. the drain rejection path)."""
+        with self._cond:
+            return self._retry_after_locked()
 
     # ------------------------------------------------------------------
     def acquire(self, client: str,

@@ -6,6 +6,10 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
+def _parse_bool(raw: str) -> bool:
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
 #: env knob -> (field, parser); documented in README "Environment knobs"
 _ENV_KNOBS = {
     "REPRO_SERVE_INFLIGHT": ("max_inflight", int),
@@ -14,6 +18,14 @@ _ENV_KNOBS = {
     "REPRO_SERVE_DEADLINE": ("default_deadline", float),
     "REPRO_SERVE_DRAIN": ("drain_grace", float),
     "REPRO_SERVE_SESSIONS": ("max_sessions", int),
+    "REPRO_SERVE_JOURNAL": ("journal", _parse_bool),
+    "REPRO_WORKER_POOL": ("workers", int),
+    "REPRO_WORKER_MEM_MB": ("worker_memory_mb", int),
+    "REPRO_WORKER_CPU_S": ("worker_cpu_s", int),
+    "REPRO_WORKER_HANG": ("worker_hang_timeout", float),
+    "REPRO_WORKER_CRASH_LIMIT": ("worker_crash_limit", int),
+    "REPRO_WORKER_RESTART_BASE": ("worker_restart_base", float),
+    "REPRO_WORKER_RESTART_CAP": ("worker_restart_cap", float),
 }
 
 
@@ -29,6 +41,22 @@ class ServeConfig:
     (seconds, 0 = none) applies to requests that do not carry their
     own; ``drain_grace`` is how long SIGTERM waits for in-flight work
     before deadline-cancelling it.
+
+    ``workers > 0`` switches execution into a pool of supervised
+    forked worker processes (crash containment: a segfault, OOM, or
+    hang takes down one worker, never the daemon) with optional
+    per-worker rlimits — ``worker_memory_mb`` caps address space
+    (``RLIMIT_AS``), ``worker_cpu_s`` caps CPU seconds
+    (``RLIMIT_CPU``); 0 disables either.  The watchdog kills a worker
+    busy longer than ``worker_hang_timeout`` seconds, restarts crashed
+    workers with exponential backoff (``worker_restart_base`` ..
+    ``worker_restart_cap`` seconds), and a request signature that
+    crashes workers ``worker_crash_limit`` times is quarantined (422).
+
+    ``journal`` write-ahead-logs every non-streaming request to the
+    artifact store's "journal" stream: duplicates short-circuit to the
+    journaled result and ``repro serve --recover`` (``recover=True``)
+    replays admitted-but-unfinished requests after a daemon crash.
     """
 
     host: str = "127.0.0.1"
@@ -40,6 +68,15 @@ class ServeConfig:
     drain_grace: float = 10.0
     max_sessions: int = 4
     resilience: bool = True
+    workers: int = 0
+    worker_memory_mb: int = 0
+    worker_cpu_s: int = 0
+    worker_hang_timeout: float = 300.0
+    worker_crash_limit: int = 2
+    worker_restart_base: float = 0.25
+    worker_restart_cap: float = 5.0
+    journal: bool = True
+    recover: bool = False
     #: session defaults for requests that send no "session" object
     default_session: Dict[str, Any] = field(default_factory=dict)
 

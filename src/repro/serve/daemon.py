@@ -17,7 +17,16 @@ Stdlib only (:mod:`http.server` + threads).  One
 * **graceful drain** — SIGTERM/SIGINT stop admission, let in-flight
   work finish (``drain_grace`` seconds), cancel what remains, then
   exit 0;
-* ``/healthz`` and ``/metrics`` endpoints.
+* optionally (``workers > 0``) a **supervised worker pool** —
+  requests execute in forked worker processes with rlimits, a hang
+  watchdog, backoff restarts and a poison-request quarantine (see
+  :mod:`repro.serve.supervisor`): a crashing request answers ``500``
+  and never takes the daemon down;
+* unless ``--no-journal``, a **write-ahead request journal** on the
+  artifact store (see :mod:`repro.serve.journal`): duplicates
+  short-circuit to the journaled result, ``--recover`` replays
+  unfinished requests after a crash;
+* ``/healthz``, ``/metrics`` and ``/quarantine`` endpoints.
 
 Endpoints
 ---------
@@ -33,15 +42,21 @@ Endpoints
     200 while serving, 503 while draining.
 ``GET /metrics``
     queue depth, in-flight, totals (completed / failed / rejected /
-    cancelled / retries / breaker trips), breaker states, p50/p95
-    latency.
+    cancelled / retries / breaker trips), breaker states, worker-pool
+    and quarantine state, journal hits/replays, p50/p95 latency.
+``GET /quarantine``
+    quarantined request signatures with crash diagnostics.
+``POST /quarantine/clear``
+    body ``{}`` or ``{"signature": "..."}`` — release all (or one)
+    quarantined signature.
 
 Errors are structured: ``{"error": {"kind": ..., "message": ...}}``
-with kinds ``bad_request`` (400), ``deadline`` (504), ``draining`` /
-``overloaded`` / ``client_limit`` (503 + Retry-After),
-``breaker_open`` (503 + Retry-After), ``backend`` (502) and
-``internal`` (500).  A request that fails *never* takes the daemon
-down with it.
+with kinds ``bad_request`` (400), ``quarantined`` (422),
+``deadline`` (504), ``draining`` / ``overloaded`` / ``client_limit``
+(503 + Retry-After), ``breaker_open`` (503 + Retry-After),
+``backend`` (502), ``worker_crashed`` (500, with the crash reason)
+and ``internal`` (500).  A request that fails — or kills its worker —
+*never* takes the daemon down with it.
 """
 
 from __future__ import annotations
@@ -52,8 +67,11 @@ import signal
 import threading
 import time
 from collections import OrderedDict
+from functools import partial
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+
+from pathlib import Path
 
 from ..api import (OptimizationRequest, OptimizerSession,
                    UnknownComponentError)
@@ -62,11 +80,16 @@ from ..api.resilience import (CircuitOpenError, RESILIENCE_BUS,
                               install_resilient_llm)
 from ..cancellation import (Cancelled, CancelToken, DeadlineExceeded,
                             cancel_scope)
+from ..evaluation.store import STORE_DIR, cache_dir
 from ..ir import parse_scop
+from ..storage import open_store
 from ..testing.faults import register_fault_backends
 from .admission import AdmissionController, Rejected
 from .config import ServeConfig
+from .journal import RequestJournal, request_signature
 from .metrics import Metrics
+from .supervisor import (QuarantineRegistry, WorkerCrashed,
+                         WorkerSupervisor)
 
 logger = logging.getLogger("repro.serve")
 
@@ -98,9 +121,10 @@ class ServeDaemon:
     def __init__(self, config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig.from_env()
         self.metrics = Metrics()
-        self.admission = AdmissionController(self.config.max_inflight,
-                                             self.config.queue_depth,
-                                             self.config.per_client)
+        self.admission = AdmissionController(
+            self.config.max_inflight, self.config.queue_depth,
+            self.config.per_client,
+            latency_hint=self.metrics.latency_p50)
         self._sessions: "OrderedDict[Tuple, OptimizerSession]" = \
             OrderedDict()
         self._sessions_lock = threading.Lock()
@@ -110,6 +134,25 @@ class ServeDaemon:
         self._tokens_lock = threading.Lock()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._serve_thread: Optional[threading.Thread] = None
+        self._booted = False
+        self.quarantine = QuarantineRegistry(
+            self.config.worker_crash_limit)
+        self.supervisor: Optional[WorkerSupervisor] = None
+        if self.config.workers > 0:
+            self.supervisor = WorkerSupervisor(
+                self.config.workers,
+                memory_mb=self.config.worker_memory_mb,
+                cpu_s=self.config.worker_cpu_s,
+                max_sessions=self.config.max_sessions,
+                hang_timeout=self.config.worker_hang_timeout,
+                restart_base=self.config.worker_restart_base,
+                restart_cap=self.config.worker_restart_cap)
+        self.journal: Optional[RequestJournal] = None
+        if self.config.journal:
+            # raises JournalUnavailable on a volatile backend — the
+            # operator must opt out explicitly with --no-journal
+            self.journal = RequestJournal(
+                open_store(Path(cache_dir()) / STORE_DIR))
         register_fault_backends()
         self._unsub_resilience = RESILIENCE_BUS.subscribe(
             self._on_resilience_event)
@@ -118,6 +161,9 @@ class ServeDaemon:
         self.metrics.gauge("sessions", self._session_count)
         self.metrics.gauge("breakers", breaker_states)
         self.metrics.gauge("draining", self._draining.is_set)
+        self.metrics.gauge("quarantined", lambda: self.quarantine.count)
+        if self.supervisor is not None:
+            self.metrics.gauge("workers", self.supervisor.describe)
 
     # ------------------------------------------------------------------
     # session pool
@@ -126,7 +172,14 @@ class ServeDaemon:
         with self._sessions_lock:
             return len(self._sessions)
 
-    def _effective_spec(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+    def _merged_spec(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Defaults + request spec, validated — resilience not applied.
+
+        This is what a supervised worker receives: the worker installs
+        its own ``resilient:`` alias (breakers/retries are per-process
+        state), which keeps the session key — and therefore the result
+        bytes — identical to the in-process path.
+        """
         merged = dict(self.config.default_session)
         merged.update(spec or {})
         unknown = sorted(set(merged) - set(SESSION_KEYS))
@@ -134,6 +187,10 @@ class ServeDaemon:
             raise BadRequest(
                 f"unknown session field(s) {', '.join(unknown)}; "
                 f"allowed: {', '.join(SESSION_KEYS)}")
+        return merged
+
+    def _effective_spec(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        merged = self._merged_spec(spec)
         if self.config.resilience:
             backend = merged.get("llm_backend", "simulated")
             merged["llm_backend"] = install_resilient_llm(
@@ -196,6 +253,12 @@ class ServeDaemon:
         if counter is not None:
             self.metrics.inc(counter)
 
+    def _on_worker_stat(self, kind: str) -> None:
+        """Resilience events relayed from a worker process."""
+        counter = _RESILIENCE_COUNTERS.get(kind)
+        if counter is not None:
+            self.metrics.inc(counter)
+
     def _register_token(self, token: CancelToken) -> None:
         with self._tokens_lock:
             self._tokens.add(token)
@@ -204,6 +267,42 @@ class ServeDaemon:
         with self._tokens_lock:
             self._tokens.discard(token)
 
+    def _execute_doc(self, request: OptimizationRequest,
+                     spec: Dict[str, Any], use_store: Optional[bool],
+                     token: CancelToken, signature: str,
+                     on_event=None, stream: bool = False
+                     ) -> Dict[str, Any]:
+        """One request through whichever execution path is configured.
+
+        Returns the full result document (events included); callers
+        strip events per the client's ``include_events``.  The worker
+        path runs the same ``OptimizerSession.optimize`` as the
+        in-process path, so the documents are byte-identical.
+        """
+        if self.supervisor is not None:
+            job = {"request": request, "spec": spec,
+                   "resilience": self.config.resilience,
+                   "use_store": use_store,
+                   "deadline": token.remaining(),
+                   "stream": stream, "signature": signature}
+            return self.supervisor.execute(
+                job, token=token, on_event=on_event,
+                on_stat=self._on_worker_stat)
+        session = self.session_for(spec)
+        result = session.optimize(request, use_store=use_store,
+                                  cancel=token)
+        return result.to_json_dict(include_events=True)
+
+    def _journal_failed(self, journaled: bool, signature: str,
+                        kind: str, message: str) -> None:
+        if journaled and self.journal is not None:
+            try:
+                self.journal.failed(signature, {"kind": kind,
+                                                "message": message})
+            except Exception:
+                logger.exception("journal write failed for %s",
+                                 signature[:12])
+
     def handle_optimize(self, handler: "_Handler",
                         body: Dict[str, Any]) -> None:
         self.metrics.inc("requests_total")
@@ -211,10 +310,37 @@ class ServeDaemon:
         if self._draining.is_set():
             self.metrics.inc("rejected_total")
             _send_error(handler, 503, "draining",
-                        "daemon is draining", retry_after=5.0)
+                        "daemon is draining",
+                        retry_after=self.admission.retry_after_estimate())
             return
         client = handler.headers.get("X-Client-Id") \
             or handler.client_address[0]
+        signature = request_signature(body)
+        stream = bool(body.get("stream"))
+        include_events = bool(body.get("include_events", True))
+        if self.journal is not None and not stream:
+            hit = self.journal.result(signature)
+            if hit is not None:
+                self.metrics.inc("journal_hits_total")
+                self.metrics.inc("completed_total")
+                self.metrics.observe_latency(time.monotonic() - started)
+                _send_json(handler, 200,
+                           _strip_events(hit, include_events))
+                return
+        poisoned = self.quarantine.lookup(signature)
+        if poisoned is not None:
+            self.metrics.inc("rejected_total")
+            self.metrics.inc("rejected_quarantined_total")
+            _send_error(handler, 422, "quarantined",
+                        f"request signature {signature[:12]} is "
+                        f"quarantined after {poisoned['crashes']} "
+                        f"worker crashes (POST /quarantine/clear to "
+                        f"release)",
+                        signature=signature,
+                        crashes=poisoned["crashes"],
+                        last_reason=poisoned.get("last_reason"),
+                        last_error=poisoned.get("last_error"))
+            return
         deadline_s = body.get("deadline_s",
                               self.config.default_deadline or None)
         if deadline_s is not None:
@@ -222,6 +348,13 @@ class ServeDaemon:
         token = CancelToken.with_timeout(deadline_s)
         self._register_token(token)
         admitted = False
+        journaled = False
+        # non-streaming replies are rendered *after* the finally below
+        # releases the admission slot: the client only sees its bytes
+        # once the slot is free, so reading a reply and immediately
+        # re-posting can never race the slot this request still held
+        # (with queue_depth=0 that race answered a spurious 503)
+        reply = None
         try:
             try:
                 self.admission.acquire(client, token)
@@ -229,73 +362,117 @@ class ServeDaemon:
             except Rejected as exc:
                 self.metrics.inc("rejected_total")
                 self.metrics.inc(f"rejected_{exc.reason}_total")
+                # no slot held: safe (and simplest) to answer inline
                 _send_error(handler, 503, exc.reason, str(exc),
                             retry_after=exc.retry_after)
                 return
             request = self.materialize_request(body.get("request", {}))
-            session = self.session_for(body.get("session", {}))
+            spec = self._merged_spec(body.get("session", {}))
             use_store = body.get("use_store")
-            if bool(body.get("stream")):
+            if self.journal is not None and not stream:
+                # write-ahead: only after validation, so every
+                # journaled body is replayable by --recover
+                self.journal.admitted(signature, body)
+                journaled = True
+            if stream:
                 self.metrics.inc("streams_total")
-                self._run_streaming(handler, session, request, token,
-                                    use_store)
+                self._run_streaming(handler, request, spec, token,
+                                    use_store, signature)
             else:
-                result = session.optimize(request, use_store=use_store,
-                                          cancel=token)
-                doc = result.to_json_dict(
-                    include_events=bool(body.get("include_events", True)))
-                _send_json(handler, 200, doc)
+                if journaled:
+                    self.journal.started(signature)
+                doc = self._execute_doc(request, spec, use_store,
+                                        token, signature)
+                if journaled:
+                    self.journal.completed(signature, doc)
+                self.quarantine.note_success(signature)
+                reply = partial(_send_json, handler, 200,
+                                _strip_events(doc, include_events))
             self.metrics.inc("completed_total")
             self.metrics.observe_latency(time.monotonic() - started)
         except BadRequest as exc:
             self.metrics.inc("failed_total")
-            _send_error(handler, 400, "bad_request", str(exc))
+            reply = partial(_send_error, handler, 400, "bad_request",
+                            str(exc))
         except UnknownComponentError as exc:
             self.metrics.inc("failed_total")
-            _send_error(handler, 400, "bad_request", str(exc))
+            reply = partial(_send_error, handler, 400, "bad_request",
+                            str(exc))
         except DeadlineExceeded:
             self.metrics.inc("cancelled_total")
             self.metrics.inc("deadline_total")
-            _send_error(handler, 504, "deadline",
-                        f"request exceeded its deadline "
-                        f"({deadline_s}s)")
+            self._journal_failed(journaled, signature, "deadline",
+                                 f"deadline {deadline_s}s exceeded")
+            reply = partial(_send_error, handler, 504, "deadline",
+                            f"request exceeded its deadline "
+                            f"({deadline_s}s)")
         except Cancelled as exc:
             self.metrics.inc("cancelled_total")
-            _send_error(handler, 503, exc.reason, str(exc),
-                        retry_after=5.0)
+            self._journal_failed(journaled, signature, exc.reason,
+                                 str(exc))
+            reply = partial(
+                _send_error, handler, 503, exc.reason, str(exc),
+                retry_after=self.admission.retry_after_estimate())
         except CircuitOpenError as exc:
             self.metrics.inc("failed_total")
-            _send_error(handler, 503, "breaker_open", str(exc),
-                        retry_after=exc.retry_after,
-                        site=exc.site)
+            self._journal_failed(journaled, signature, "breaker_open",
+                                 str(exc))
+            reply = partial(_send_error, handler, 503, "breaker_open",
+                            str(exc), retry_after=exc.retry_after,
+                            site=exc.site)
+        except WorkerCrashed as exc:
+            self.metrics.inc("failed_total")
+            self.metrics.inc("worker_crashes_total")
+            entry = self.quarantine.note_crash(signature, exc.reason,
+                                               str(exc))
+            self._journal_failed(journaled, signature, "worker_crashed",
+                                 str(exc))
+            reply = partial(_send_error, handler, 500, "worker_crashed",
+                            f"worker crashed mid-request: {exc}",
+                            reason=exc.reason, signature=signature,
+                            crashes=entry["crashes"],
+                            quarantined=entry["quarantined"])
         except Exception as exc:
             transient = bool(getattr(exc, "transient", False)) \
                 or isinstance(exc, (ConnectionError, TimeoutError))
             self.metrics.inc("failed_total")
+            type_name = getattr(exc, "remote_type", type(exc).__name__)
             if transient:
-                _send_error(handler, 502, "backend",
-                            f"backend failed after retries: "
-                            f"{type(exc).__name__}: {exc}")
+                self._journal_failed(journaled, signature, "backend",
+                                     str(exc))
+                reply = partial(_send_error, handler, 502, "backend",
+                                f"backend failed after retries: "
+                                f"{type_name}: {exc}")
             else:
                 logger.exception("internal error serving request")
-                _send_error(handler, 500, "internal",
-                            f"{type(exc).__name__}: {exc}")
+                self._journal_failed(journaled, signature, "internal",
+                                     str(exc))
+                reply = partial(_send_error, handler, 500, "internal",
+                                f"{type_name}: {exc}")
         finally:
             if admitted:
                 self.admission.release(client)
             self._unregister_token(token)
+        if reply is not None:
+            reply()
 
     def _run_streaming(self, handler: "_Handler",
-                       session: OptimizerSession,
                        request: OptimizationRequest,
+                       spec: Dict[str, Any],
                        token: CancelToken,
-                       use_store: Optional[bool]) -> None:
-        """NDJSON: live events (this thread's only), then the result."""
+                       use_store: Optional[bool],
+                       signature: str) -> None:
+        """NDJSON: live events (this request's only), then the result.
+
+        Streaming requests bypass the journal (a byte-stream already
+        delivered cannot be replayed idempotently) but do execute in
+        the worker pool when one is configured — worker events are
+        relayed over the pipe and written as they arrive.
+        """
         handler.send_response(200)
         handler.send_header("Content-Type", "application/x-ndjson")
         handler.send_header("Connection", "close")
         handler.end_headers()
-        ident = threading.get_ident()
         write_lock = threading.Lock()
 
         def write_line(doc: Dict[str, Any]) -> None:
@@ -303,6 +480,57 @@ class ServeDaemon:
             with write_lock:
                 handler.wfile.write(data)
                 handler.wfile.flush()
+
+        if self.supervisor is not None:
+            def on_event(doc: Dict[str, Any]) -> None:
+                try:
+                    write_line(doc)
+                except OSError:
+                    # client went away: stop paying for the request
+                    token.cancel("client_disconnected")
+                    raise  # the dispatcher stops forwarding to us
+            try:
+                doc = self._execute_doc(request, spec, use_store,
+                                        token, signature,
+                                        on_event=on_event, stream=True)
+                doc = _strip_events(doc, include_events=False)
+                doc["kind"] = "result"
+                write_line(doc)
+                self.quarantine.note_success(signature)
+            except Cancelled as exc:
+                self.metrics.inc("cancelled_total")
+                if isinstance(exc, DeadlineExceeded):
+                    self.metrics.inc("deadline_total")
+                try:
+                    write_line({"kind": "error", "error": {
+                        "kind": exc.reason, "message": str(exc)}})
+                except OSError:
+                    pass
+            except WorkerCrashed as exc:
+                self.metrics.inc("failed_total")
+                self.metrics.inc("worker_crashes_total")
+                entry = self.quarantine.note_crash(
+                    signature, exc.reason, str(exc))
+                try:
+                    write_line({"kind": "error", "error": {
+                        "kind": "worker_crashed", "message": str(exc),
+                        "reason": exc.reason,
+                        "quarantined": entry["quarantined"]}})
+                except OSError:
+                    pass
+            except Exception as exc:
+                # the 200 + NDJSON header is already on the wire; an
+                # in-stream error line is the best remaining answer
+                self.metrics.inc("failed_total")
+                try:
+                    write_line({"kind": "error", "error": {
+                        "kind": "failure", "message": str(exc)}})
+                except OSError:
+                    pass
+            return
+
+        session = self.session_for(spec)
+        ident = threading.get_ident()
 
         def forward(event) -> None:
             if threading.get_ident() != ident:
@@ -350,8 +578,63 @@ class ServeDaemon:
         host, port = self._httpd.server_address[:2]
         return str(host), int(port)
 
+    def _boot(self) -> None:
+        """Fork the worker pool and replay the journal, exactly once."""
+        if self._booted:
+            return
+        self._booted = True
+        if self.supervisor is not None:
+            self.supervisor.start()
+        if self.config.recover:
+            replayed = self.recover()
+            if replayed:
+                logger.info("recovered %d journaled request(s)",
+                            replayed)
+
+    def recover(self) -> int:
+        """Replay admitted-but-unfinished journal records.
+
+        Each is re-materialized from its journaled body and executed
+        through the normal path (workers included) with no deadline —
+        the original client is gone; the point is that the work
+        admitted before the crash ends up completed in the journal,
+        byte-identical to what the original request would have
+        returned, ready for the client's resubmission to short-circuit
+        onto.
+        """
+        if self.journal is None:
+            return 0
+        replayed = 0
+        for signature, record in self.journal.unfinished():
+            body = record.get("body") or {}
+            try:
+                request = self.materialize_request(
+                    body.get("request", {}))
+                spec = self._merged_spec(body.get("session", {}))
+                token = CancelToken()
+                self._register_token(token)
+                try:
+                    self.journal.started(signature)
+                    doc = self._execute_doc(request, spec,
+                                            body.get("use_store"),
+                                            token, signature)
+                finally:
+                    self._unregister_token(token)
+                self.journal.completed(signature, doc)
+                self.metrics.inc("journal_replayed_total")
+                replayed += 1
+            except Exception as exc:
+                self.journal.failed(signature, {
+                    "kind": "replay_failed",
+                    "message": f"{type(exc).__name__}: {exc}"})
+                self.metrics.inc("journal_replay_failed_total")
+                logger.warning("recover: replay of %s failed: %s",
+                               signature[:12], exc)
+        return replayed
+
     def start(self) -> Tuple[str, int]:
         """Start serving on a background thread (tests)."""
+        self._boot()
         server = self._make_server()
         self._serve_thread = threading.Thread(
             target=server.serve_forever, kwargs={"poll_interval": 0.05},
@@ -392,10 +675,13 @@ class ServeDaemon:
             self._httpd.server_close()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout)
+        if self.supervisor is not None:
+            self.supervisor.shutdown()
         self._unsub_resilience()
 
     def run_forever(self, announce=print) -> int:
         """Foreground serve loop with SIGTERM/SIGINT drain; returns 0."""
+        self._boot()
         server = self._make_server()
         host, port = self.address
 
@@ -408,6 +694,8 @@ class ServeDaemon:
         announce(f"repro-serve listening on http://{host}:{port} "
                  f"(inflight={self.config.max_inflight} "
                  f"queue={self.config.queue_depth} "
+                 f"workers={self.config.workers or 'in-process'} "
+                 f"journal={'on' if self.journal else 'off'} "
                  f"deadline={self.config.default_deadline or 'none'})",
                  flush=True)
         try:
@@ -416,6 +704,8 @@ class ServeDaemon:
             server.server_close()
             for signum, old in previous.items():
                 signal.signal(signum, old)
+            if self.supervisor is not None:
+                self.supervisor.shutdown()
         announce("repro-serve drained cleanly", flush=True)
         return 0
 
@@ -457,21 +747,40 @@ class _Handler(BaseHTTPRequestHandler):
             _send_json(self, status, doc)
         elif self.path == "/metrics":
             _send_json(self, 200, self.daemon.metrics.snapshot())
+        elif self.path == "/quarantine":
+            _send_json(self, 200, {
+                "limit": self.daemon.quarantine.limit,
+                "quarantined": self.daemon.quarantine.snapshot()})
         else:
             _send_error(self, 404, "not_found",
                         f"no such endpoint: {self.path}")
 
+    def _read_json_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b""
+        body = json.loads(raw.decode("utf-8")) if raw else {}
+        if not isinstance(body, dict):
+            raise ValueError("body must be a JSON object")
+        return body
+
     def do_POST(self) -> None:
+        if self.path == "/quarantine/clear":
+            try:
+                body = self._read_json_body()
+            except (ValueError, UnicodeDecodeError) as exc:
+                _send_error(self, 400, "bad_request",
+                            f"invalid JSON body: {exc}")
+                return
+            cleared = self.daemon.quarantine.clear(
+                body.get("signature"))
+            _send_json(self, 200, {"cleared": cleared})
+            return
         if self.path != "/v1/optimize":
             _send_error(self, 404, "not_found",
                         f"no such endpoint: {self.path}")
             return
         try:
-            length = int(self.headers.get("Content-Length", "0"))
-            raw = self.rfile.read(length) if length else b""
-            body = json.loads(raw.decode("utf-8")) if raw else {}
-            if not isinstance(body, dict):
-                raise ValueError("body must be a JSON object")
+            body = self._read_json_body()
         except (ValueError, UnicodeDecodeError) as exc:
             self.daemon.metrics.inc("requests_total")
             self.daemon.metrics.inc("failed_total")
@@ -482,6 +791,21 @@ class _Handler(BaseHTTPRequestHandler):
             self.daemon.handle_optimize(self, body)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client hung up mid-response
+
+
+def _strip_events(doc: Dict[str, Any],
+                  include_events: bool) -> Dict[str, Any]:
+    """The full result document, minus "events" when not requested.
+
+    Journaled and worker-produced documents always carry events;
+    popping the key yields exactly the bytes
+    ``to_json_dict(include_events=False)`` would have produced.
+    """
+    if include_events:
+        return doc
+    doc = dict(doc)
+    doc.pop("events", None)
+    return doc
 
 
 def _send_json(handler: BaseHTTPRequestHandler, status: int,

@@ -1,0 +1,161 @@
+"""Durable write-ahead request journal for ``repro serve``.
+
+Every non-streaming request the daemon admits is journaled to the
+artifact store's ``"journal"`` stream *before* it executes, keyed by an
+idempotency signature derived from the request content.  A record walks
+a tiny state machine::
+
+    admitted -> started -> completed | failed
+
+which buys two things a crash-prone world needs:
+
+* **idempotent resubmission** — a duplicate of a ``completed`` request
+  short-circuits to the journaled result document (byte-identical to
+  the original response, by the daemon's canonical-JSON rendering);
+* **crash recovery** — ``repro serve --recover`` replays every
+  ``admitted``/``started`` record through the normal execution path at
+  startup, so requests that were in flight when the daemon died are
+  finished rather than lost.
+
+``failed`` records do *not* short-circuit: a request that failed (crash,
+deadline, backend exhaustion) is re-executed when resubmitted, because
+failure is circumstance, not content.
+
+The journal opens the artifact store directly (same root/backend as the
+result cache) and deliberately ignores ``REPRO_NO_CACHE`` — that knob
+disables the *result memo*, while the journal is the daemon's write-ahead
+log.  Volatile backends make a write-ahead log a lie, which is why the
+daemon refuses to start with journaling on a backend whose entries do
+not live on disk (see :class:`JournalUnavailable`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..storage import ArtifactStore, StreamStats
+
+#: stream name on the artifact store (shows up in ``repro store stats``)
+JOURNAL_STREAM = "journal"
+
+#: journal record format version
+JOURNAL_SCHEMA = 1
+
+#: statuses a record can hold; "admitted" and "started" are the
+#: unfinished ones --recover replays
+UNFINISHED = ("admitted", "started")
+
+
+class JournalUnavailable(RuntimeError):
+    """Journaling requested on a store that cannot durably hold it."""
+
+
+def request_signature(body: Any) -> str:
+    """Idempotency key: a content hash of what the request *computes*.
+
+    Covers the kernel/request entry, the session spec, and the
+    ``use_store`` toggle — and deliberately excludes delivery options
+    (``deadline_s``, ``stream``, ``include_events``) so the same
+    computation submitted with a different timeout or event verbosity
+    still deduplicates onto one journal record.
+    """
+    if not isinstance(body, dict):
+        body = {"request": body}
+    core = {
+        "request": body.get("request"),
+        "session": body.get("session") or {},
+        "use_store": body.get("use_store"),
+    }
+    canonical = json.dumps(core, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class RequestJournal:
+    """The admitted→started→completed/failed log over an ArtifactStore.
+
+    Transitions are read-modify-write on the underlying last-write-wins
+    stream, serialized by a process-local lock (one daemon owns its
+    journal; concurrent request threads within it must not tear each
+    other's updates).
+    """
+
+    def __init__(self, store: ArtifactStore) -> None:
+        if not store.on_disk:
+            raise JournalUnavailable(
+                f"refusing to journal onto volatile store backend "
+                f"{store.name!r} ({store.describe()}): a write-ahead "
+                f"log that evaporates with the process cannot recover "
+                f"anything; pass --no-journal to serve without one")
+        self._store = store
+        self._lock = threading.Lock()
+        store.open(JOURNAL_STREAM)
+
+    # -- record access -------------------------------------------------
+    def record(self, signature: str) -> Optional[Dict[str, Any]]:
+        return self._store.read(JOURNAL_STREAM, signature)
+
+    def result(self, signature: str) -> Optional[Dict[str, Any]]:
+        """The journaled result document iff the record is completed."""
+        record = self.record(signature)
+        if record and record.get("status") == "completed":
+            return record.get("result")
+        return None
+
+    def unfinished(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """(signature, record) for every admitted/started record."""
+        out = []
+        for key in self._store.list(JOURNAL_STREAM):
+            record = self._store.read(JOURNAL_STREAM, key)
+            if record and record.get("status") in UNFINISHED:
+                out.append((key, record))
+        return out
+
+    def stats(self) -> StreamStats:
+        return self._store.stream_stats(JOURNAL_STREAM)
+
+    def describe(self) -> str:
+        return f"{JOURNAL_STREAM}@{self._store.describe()}"
+
+    # -- the state machine ---------------------------------------------
+    def admitted(self, signature: str, body: Dict[str, Any]) -> None:
+        """Write-ahead: the request is validated and about to run.
+
+        Stores the full request body so --recover can re-materialize
+        and re-execute it without the client.  Resubmission of a failed
+        request lands here again and bumps ``attempts``.
+        """
+        def update(record: Dict[str, Any]) -> None:
+            record["status"] = "admitted"
+            record["body"] = body
+            record["attempts"] = int(record.get("attempts", 0)) + 1
+            record.pop("error", None)
+        self._transition(signature, update)
+
+    def started(self, signature: str) -> None:
+        self._transition(
+            signature, lambda record: record.update(status="started"))
+
+    def completed(self, signature: str,
+                  result_doc: Dict[str, Any]) -> None:
+        def update(record: Dict[str, Any]) -> None:
+            record["status"] = "completed"
+            record["result"] = result_doc
+            record.pop("error", None)
+        self._transition(signature, update)
+
+    def failed(self, signature: str, error: Dict[str, Any]) -> None:
+        def update(record: Dict[str, Any]) -> None:
+            record["status"] = "failed"
+            record["error"] = error
+        self._transition(signature, update)
+
+    def _transition(self, signature: str, update) -> None:
+        with self._lock:
+            record = self.record(signature) or {
+                "schema": JOURNAL_SCHEMA, "attempts": 0}
+            update(record)
+            self._store.append(JOURNAL_STREAM, signature, record)

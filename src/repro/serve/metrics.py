@@ -47,6 +47,12 @@ class Metrics:
         with self._lock:
             self._latencies.append(seconds)
 
+    def latency_p50(self) -> float:
+        """Median request latency in seconds (0.0 until data exists)."""
+        with self._lock:
+            latencies = sorted(self._latencies)
+        return _percentile(latencies, 0.50)
+
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
             counters = dict(self._counters)

@@ -11,25 +11,40 @@ Spec grammar (``REPRO_FAULTS`` or :func:`FaultPlan.parse`)::
 
     clause[;clause...]
     clause  := site:kind[:key=value...]
-    site    := llm.generate | compiler.optimize | <any string>
-    kind    := raise | timeout | malformed | delay
+    site    := llm.generate | compiler.optimize | worker.execute | <any string>
+    kind    := raise | timeout | malformed | delay      (in-process)
+             | kill | oom | hang | exit                 (process-level)
 
     keys: times=N    inject on the first N matching calls (default: 1)
           always     inject on every matching call
           every=K    inject on every Kth matching call (1-based)
           after=N    skip the first N matching calls
-          seconds=S  sleep S seconds (kind delay; default 0.05)
+          seconds=S  sleep S seconds (delay default 0.05; hang 3600)
+          code=N     exit status for kind exit (default 3)
+          mb=N       allocation target for kind oom (default 512)
 
 Examples::
 
     REPRO_FAULTS="llm.generate:raise:times=2"
     REPRO_FAULTS="llm.generate:delay:seconds=0.2:always"
-    REPRO_FAULTS="llm.generate:malformed:every=3;compiler.optimize:raise:times=1"
+    REPRO_FAULTS="worker.execute:kill:after=1;worker.execute:oom:mb=64"
 
 Faults raised here carry ``transient = True`` so the resilience layer
 (:mod:`repro.api.resilience`) retries them; ``delay`` sleeps through
 :func:`repro.cancellation.sleep_interruptible` so deadlines and drain
 interrupt an injected stall.
+
+The process-level kinds (:data:`PROCESS_KINDS`) take the whole process
+down — SIGKILL itself, allocate until ``MemoryError``, sleep
+uninterruptibly, or ``os._exit``.  :meth:`FaultPlan.check` deliberately
+*skips* them so an in-process call site can never kill the daemon or a
+test runner: they only fire inside supervised worker processes, where
+the parent (:mod:`repro.serve.supervisor`) decides what is due at
+dispatch time via :meth:`FaultPlan.due` and ships the clauses to the
+worker, which executes them with :func:`apply_clause`.  Keeping the
+schedule accounting on the parent side makes the schedule deterministic
+across worker crashes and restarts — a replacement worker does not
+restart the counters.
 
 The injected LLM backend registers in ``LLM_BACKENDS`` as ``"faulty"``
 (see :func:`register_fault_backends`): it wraps the ``simulated``
@@ -42,13 +57,24 @@ produces.
 from __future__ import annotations
 
 import os
+import signal
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..cancellation import sleep_interruptible
 
-KINDS = ("raise", "timeout", "malformed", "delay")
+#: kinds that fail the *call* (raise/sleep in the calling process)
+INPROCESS_KINDS = ("raise", "timeout", "malformed", "delay")
+#: kinds that take the *process* down; executed only inside supervised
+#: worker processes (see module docstring)
+PROCESS_KINDS = ("kill", "oom", "hang", "exit")
+KINDS = INPROCESS_KINDS + PROCESS_KINDS
+
+#: exit status a worker uses to report death by memory exhaustion
+#: (injected oom or a real MemoryError under RLIMIT_AS)
+EXIT_OOM = 86
 
 
 class FaultInjected(ConnectionError):
@@ -83,6 +109,8 @@ class FaultClause:
     every: Optional[int] = None
     after: int = 0
     seconds: float = 0.05
+    code: int = 3              # kind exit
+    megabytes: int = 512       # kind oom
 
     def fires(self, call_index: int, injected_so_far: int) -> bool:
         """Decide for the ``call_index``-th (0-based) matching call."""
@@ -120,8 +148,16 @@ def _parse_clause(text: str) -> FaultClause:
             options["after"] = int(value)
         elif key == "seconds":
             options["seconds"] = float(value)
+        elif key == "code":
+            options["code"] = int(value)
+        elif key in ("mb", "megabytes"):
+            options["megabytes"] = int(value)
         else:
             raise ValueError(f"unknown fault option {key!r} in {text!r}")
+    if kind == "hang":
+        # a hang must outlive any plausible watchdog timeout, not the
+        # 50ms delay default
+        options.setdefault("seconds", 3600.0)
     return FaultClause(site=site, kind=kind, **options)
 
 
@@ -147,12 +183,28 @@ class FaultPlan:
         return FaultPlan(clauses)
 
     def describe(self) -> List[dict]:
-        return [{"site": c.site, "kind": c.kind, "times": c.times,
-                 "every": c.every, "after": c.after,
-                 "seconds": c.seconds} for c in self.clauses]
+        docs = []
+        for c in self.clauses:
+            doc = {"site": c.site, "kind": c.kind, "times": c.times,
+                   "every": c.every, "after": c.after,
+                   "seconds": c.seconds}
+            if c.kind == "exit":
+                doc["code"] = c.code
+            if c.kind == "oom":
+                doc["megabytes"] = c.megabytes
+            docs.append(doc)
+        return docs
 
     # ------------------------------------------------------------------
-    def _due(self, site: str) -> List[FaultClause]:
+    def due(self, site: str) -> List[FaultClause]:
+        """Consume one ``site`` call and return the clauses it owes.
+
+        This *is* the schedule: each call advances the per-clause call
+        counters under the lock.  :meth:`check` executes the returned
+        clauses in-process; the worker supervisor instead ships them to
+        a worker process (parent-side accounting keeps the schedule
+        deterministic across worker restarts).
+        """
         due: List[FaultClause] = []
         with self._lock:
             for i, clause in enumerate(self.clauses):
@@ -170,18 +222,13 @@ class FaultPlan:
 
         ``delay`` clauses sleep (interruptibly) and fall through; the
         raising kinds abort the call with their transient exception.
+        Process-level kinds are skipped — only a supervised worker may
+        execute those (an in-process site must never kill the daemon).
         """
-        for clause in self._due(site):
-            if clause.kind == "delay":
-                sleep_interruptible(clause.seconds)
-            elif clause.kind == "timeout":
-                raise FaultTimeout(
-                    f"injected timeout at {site}")
-            elif clause.kind == "malformed":
-                raise MalformedReply(site, "<<<garbage reply 0xDEAD")
-            else:
-                raise FaultInjected(
-                    f"injected failure at {site}")
+        for clause in self.due(site):
+            if clause.kind in PROCESS_KINDS:
+                continue
+            apply_clause(clause, site)
 
     def counts(self) -> Tuple[Tuple[str, int, int], ...]:
         """(site/kind, calls seen, faults injected) per clause."""
@@ -231,6 +278,58 @@ def maybe_fault(site: str) -> None:
     plan = active_plan()
     if plan is not None:
         plan.check(site)
+
+
+# ----------------------------------------------------------------------
+# clause execution
+# ----------------------------------------------------------------------
+def apply_process_fault(clause: FaultClause) -> None:
+    """Execute a process-level clause in the *current* process.
+
+    Only a supervised worker should call this (directly or through
+    :func:`apply_clause`): ``kill``/``exit`` terminate the process,
+    ``hang`` sleeps uninterruptibly (the watchdog must reap it), and
+    ``oom`` allocates up to ``clause.megabytes`` and then raises
+    ``MemoryError`` even if every allocation succeeded — with
+    ``RLIMIT_AS`` set the limit fires first, without it the explicit
+    raise keeps the fault deterministic instead of gambling on the
+    host's memory.
+    """
+    if clause.kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif clause.kind == "exit":
+        os._exit(clause.code)
+    elif clause.kind == "hang":
+        # plain sleep on purpose: a hung worker must NOT cooperate with
+        # cancellation, otherwise the watchdog path is never exercised
+        time.sleep(clause.seconds)
+    elif clause.kind == "oom":
+        chunk_mb = 32
+        hoard = []
+        remaining = clause.megabytes
+        while remaining > 0:
+            hoard.append(bytearray(chunk_mb * 1024 * 1024))
+            remaining -= chunk_mb
+        del hoard
+        raise MemoryError(
+            f"injected oom: allocated ~{clause.megabytes}MB without "
+            f"hitting a limit")
+    else:
+        raise ValueError(f"not a process fault kind: {clause.kind!r}")
+
+
+def apply_clause(clause: FaultClause, site: str) -> None:
+    """Execute one due clause (any kind) in the current process."""
+    if clause.kind == "delay":
+        sleep_interruptible(clause.seconds)
+    elif clause.kind == "timeout":
+        raise FaultTimeout(f"injected timeout at {site}")
+    elif clause.kind == "malformed":
+        raise MalformedReply(site, "<<<garbage reply 0xDEAD")
+    elif clause.kind == "raise":
+        raise FaultInjected(f"injected failure at {site}")
+    else:
+        apply_process_fault(clause)
 
 
 # ----------------------------------------------------------------------

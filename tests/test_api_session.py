@@ -284,6 +284,41 @@ class TestEvents:
         assert "wall" not in a.to_dict()
         assert SessionEvent.from_dict(a.to_dict()) == a
 
+    def test_event_log_is_a_bounded_ring(self):
+        log = EventLog(limit=3)
+        for i in range(5):
+            log.emit("tick", i=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        retained = log.events()
+        # seq keeps counting, so truncation is recognizable
+        assert [e.seq for e in retained] == [2, 3, 4]
+        assert retained[0].seq > 0
+
+    def test_event_log_forwards_even_what_the_ring_drops(self):
+        seen = []
+        log = EventLog(forward=seen.append, limit=1)
+        log.emit("a")
+        log.emit("b")
+        assert [e.kind for e in seen] == ["a", "b"]  # live saw all
+        assert [e.kind for e in log.events()] == ["b"]
+        assert log.dropped == 1
+
+    def test_event_log_limit_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_LOG_LIMIT", "2")
+        log = EventLog()
+        for i in range(4):
+            log.emit("tick", i=i)
+        assert len(log) == 2
+        assert log.dropped == 2
+        # limit <= 0 = unbounded (the pre-ring behavior)
+        monkeypatch.setenv("REPRO_EVENT_LOG_LIMIT", "0")
+        unbounded = EventLog()
+        for i in range(4):
+            unbounded.emit("tick", i=i)
+        assert len(unbounded) == 4
+        assert unbounded.dropped == 0
+
 
 class TestRegistries:
     def test_unknown_llm_backend_lists_names(self):

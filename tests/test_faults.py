@@ -60,6 +60,32 @@ class TestSpecParsing:
              "after": 0, "seconds": 0.05},
         ]
 
+    def test_process_kinds_and_their_options(self):
+        plan = FaultPlan.parse(
+            "worker.execute:kill;"
+            "worker.execute:exit:code=7;"
+            "worker.execute:oom:mb=64;"
+            "worker.execute:hang")
+        kill, exit_, oom, hang = plan.clauses
+        assert kill.kind == "kill"
+        assert exit_.code == 7
+        assert oom.megabytes == 64
+        # a hang must outlive any watchdog timeout, not default to the
+        # 50ms delay sleep
+        assert hang.seconds == 3600.0
+        assert FaultPlan.parse(
+            "w:hang:seconds=2").clauses[0].seconds == 2.0
+        assert FaultPlan.parse(
+            "w:oom:megabytes=128").clauses[0].megabytes == 128
+
+    def test_describe_includes_process_options(self):
+        plan = FaultPlan.parse("w:exit:code=9;w:oom:mb=32")
+        exit_doc, oom_doc = plan.describe()
+        assert exit_doc["code"] == 9
+        assert "megabytes" not in exit_doc
+        assert oom_doc["megabytes"] == 32
+        assert "code" not in oom_doc
+
     @pytest.mark.parametrize("spec", [
         "llm.generate",                 # no kind
         "llm.generate:explode",         # unknown kind
@@ -111,6 +137,29 @@ class TestSchedule:
         runs = [self.fired(spec, "s", 9) for _ in range(2)]
         assert runs[0] == runs[1]
 
+    def test_due_consumes_the_schedule_without_executing(self):
+        # the worker supervisor's entry point: parent-side accounting,
+        # clause execution shipped elsewhere
+        plan = FaultPlan.parse("w:kill:times=1;w:exit:after=1")
+        first = plan.due("w")
+        assert [c.kind for c in first] == ["kill"]  # nothing executed
+        second = plan.due("w")
+        assert [c.kind for c in second] == ["exit"]
+        assert plan.due("w") == []
+        assert plan.counts() == (("w:kill", 3, 1), ("w:exit", 3, 1))
+
+    def test_check_never_executes_process_kinds_in_process(self):
+        # a process clause reaching an in-process site must be a no-op:
+        # it may only fire inside a supervised worker.  If this test
+        # survives, the daemon (and this test runner) cannot be killed
+        # by a mis-sited kill/exit/oom/hang clause.
+        plan = FaultPlan.parse(
+            "s:kill:always;s:exit:always;s:oom:always;s:hang:always")
+        plan.check("s")  # still alive, did not hang
+        # ... but the schedule accounting advanced all the same
+        assert all(calls == 1 and injected == 1
+                   for _, calls, injected in plan.counts())
+
 
 class TestFaultKinds:
     def test_raise_is_transient_connection_error(self):
@@ -139,6 +188,19 @@ class TestFaultKinds:
         start = time.monotonic()
         maybe_fault("s")  # must not raise
         assert time.monotonic() - start >= 0.05
+
+    def test_injected_oom_raises_memory_error_even_under_no_limit(self):
+        # deterministic: allocates ~8MB then raises instead of gambling
+        # on the host actually running out of memory
+        from repro.testing.faults import apply_process_fault
+        clause = FaultPlan.parse("s:oom:mb=8").clauses[0]
+        with pytest.raises(MemoryError):
+            apply_process_fault(clause)
+
+    def test_apply_process_fault_rejects_in_process_kinds(self):
+        from repro.testing.faults import apply_process_fault
+        with pytest.raises(ValueError):
+            apply_process_fault(FaultClause("s", "raise"))
 
 
 class TestActivePlan:

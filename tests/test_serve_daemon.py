@@ -96,6 +96,7 @@ def make_daemon(monkeypatch):
     def make(**overrides):
         options = dict(host="127.0.0.1", port=0, max_inflight=4,
                        queue_depth=4, per_client=4, drain_grace=10.0,
+                       journal=False,
                        default_session={"dataset_size": 40})
         options.update(overrides)
         daemon = ServeDaemon(ServeConfig(**options))
@@ -213,6 +214,19 @@ class TestAdmissionOverHTTP:
         status, text, _ = slow["response"]
         assert status == 200  # the in-flight request was untouched
         assert daemon.metrics.get("rejected_overloaded_total") == 1
+
+    def test_sequential_reposts_never_race_the_released_slot(
+            self, make_daemon):
+        # the reply is written only after the admission slot is
+        # released: a client that has read its response and re-posts
+        # immediately must never collide with its own previous slot,
+        # even at max_inflight=1 with no queue
+        daemon = make_daemon(max_inflight=1, queue_depth=0)
+        body = {"request": {"source": KERNEL}, "use_store": False}
+        for _ in range(25):
+            status, _, _ = _post(daemon.address, body)
+            assert status == 200
+        assert daemon.metrics.get("rejected_overloaded_total") == 0
 
     def test_per_client_limit(self, make_daemon):
         daemon = make_daemon(per_client=1, max_inflight=4,
@@ -389,6 +403,44 @@ class TestDrain:
         assert json.loads(text)["error"]["kind"] == "drain"
         assert daemon._drained.wait(30)
 
+    def test_drain_answers_queued_waiters_with_503_not_silence(
+            self, make_daemon):
+        # The SIGTERM-vs-queued-waiter race: a request sitting in the
+        # admission queue when drain begins must get a definite 503
+        # ("drain"), not hang forever and not sneak through to a 200.
+        daemon = make_daemon(max_inflight=1, queue_depth=2,
+                             drain_grace=0.2)
+        install_plan(FaultPlan.parse(
+            "llm.generate:delay:seconds=0.3:always"))
+        responses = {}
+
+        def run(name):
+            responses[name] = _post(daemon.address, {
+                "request": {"source": KERNEL},
+                "session": {"llm_backend": "faulty"},
+                "use_store": False})
+
+        inflight = threading.Thread(target=run, args=("inflight",))
+        inflight.start()
+        assert _wait_until(lambda: daemon.admission.inflight >= 1)
+        queued = threading.Thread(target=run, args=("queued",))
+        queued.start()
+        assert _wait_until(lambda: daemon.admission.queued >= 1)
+
+        daemon.begin_drain(reason="test")
+        inflight.join(timeout=60)
+        queued.join(timeout=60)
+        assert daemon._drained.wait(30)
+
+        status, text, headers = responses["queued"]
+        assert status == 503  # answered, not abandoned
+        doc = json.loads(text)
+        assert doc["error"]["kind"] == "drain"
+        assert "Retry-After" in headers
+        # the in-flight one was past the grace too, so also a drain 503
+        status, text, _ = responses["inflight"]
+        assert status == 503
+
 
 # ----------------------------------------------------------------------
 # streaming
@@ -553,6 +605,36 @@ class TestAdmissionController:
         # the client count was rolled back: b can come straight back
         admission.release("a")
         admission.acquire("b")
+
+    def test_retry_after_scales_with_observed_latency(self):
+        # No latency data yet: fall back to 1s + queue depth.
+        admission = AdmissionController(max_inflight=2, queue_depth=0,
+                                        per_client=10)
+        assert admission.retry_after_estimate() == 1.0
+
+        # With a latency hint the estimate is (queued + inflight)
+        # * p50 / max_inflight, clamped to [1, 30].
+        admission = AdmissionController(max_inflight=2, queue_depth=0,
+                                        per_client=10,
+                                        latency_hint=lambda: 8.0)
+        admission.acquire("a")
+        admission.acquire("b")
+        assert admission.retry_after_estimate() == 8.0  # 2 * 8 / 2
+        with pytest.raises(Rejected) as excinfo:
+            admission.acquire("c")
+        assert excinfo.value.retry_after == 8.0
+
+        # The clamp keeps pathological hints honest.
+        high = AdmissionController(max_inflight=1, queue_depth=0,
+                                   per_client=10,
+                                   latency_hint=lambda: 1e6)
+        high.acquire("a")
+        assert high.retry_after_estimate() == 30.0
+        # ... and a broken hint degrades to the queue-based fallback.
+        broken = AdmissionController(
+            max_inflight=1, queue_depth=0, per_client=10,
+            latency_hint=lambda: (_ for _ in ()).throw(RuntimeError()))
+        assert broken.retry_after_estimate() == 1.0
 
     def test_wait_idle(self):
         admission = AdmissionController(max_inflight=1, queue_depth=0,

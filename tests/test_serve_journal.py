@@ -1,0 +1,286 @@
+"""The durable write-ahead request journal behind ``repro serve``.
+
+Contract: every admitted non-streaming request is journaled
+(admitted → started → completed/failed) on the artifact store's
+``"journal"`` stream under a content-hash idempotency signature.
+Duplicates of a completed request short-circuit to the journaled,
+byte-identical result; ``--recover`` replays unfinished records after a
+daemon crash; volatile (memory) backends are refused unless the
+operator explicitly serves with ``--no-journal``.
+"""
+
+import http.client
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import OptimizationRequest, OptimizerSession
+from repro.api.resilience import reset_resilience
+from repro.evaluation.store import STORE_DIR, cache_dir
+from repro.ir import parse_scop
+from repro.serve import (JOURNAL_STREAM, JournalUnavailable,
+                         RequestJournal, ServeConfig, ServeDaemon,
+                         request_signature)
+from repro.storage import InMemoryStore, open_store
+from repro.testing.faults import FaultPlan, install_plan
+
+KERNEL = """
+scop axpyish(N) {
+  array X[N] output;
+  array Y[N];
+  for (i = 0; i < N; i++)
+    X[i] = X[i] + 2.0 * Y[i];
+}
+"""
+
+BODY = {"request": {"source": KERNEL}, "use_store": False}
+
+
+def _post(addr, body, timeout=120):
+    conn = http.client.HTTPConnection(*addr, timeout=timeout)
+    try:
+        conn.request("POST", "/v1/optimize", json.dumps(body),
+                     {"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        return resp.status, resp.read().decode()
+    finally:
+        conn.close()
+
+
+def _expected_bytes(include_events=True):
+    request = OptimizationRequest.make(
+        parse_scop(KERNEL), {"N": 1500}, {"N": 8},
+        system="looprag", persona="deepseek")
+    session = OptimizerSession(dataset_size=40)
+    result = session.optimize(request, use_store=False)
+    return json.dumps(result.to_json_dict(include_events=include_events),
+                      indent=2, sort_keys=True)
+
+
+@pytest.fixture()
+def make_daemon(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_RETRY_BASE", "0.001")
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    reset_resilience()
+    install_plan(None)
+    daemons = []
+
+    def make(**overrides):
+        options = dict(host="127.0.0.1", port=0, max_inflight=4,
+                       queue_depth=4, per_client=8, drain_grace=10.0,
+                       journal=True,
+                       default_session={"dataset_size": 40})
+        options.update(overrides)
+        daemon = ServeDaemon(ServeConfig(**options))
+        daemon.start()
+        daemons.append(daemon)
+        return daemon
+
+    yield make
+    install_plan(None)
+    for daemon in daemons:
+        daemon.stop(timeout=30)
+    reset_resilience()
+
+
+# ----------------------------------------------------------------------
+# the idempotency signature
+# ----------------------------------------------------------------------
+class TestRequestSignature:
+    def test_delivery_options_do_not_change_the_signature(self):
+        base = request_signature(BODY)
+        assert request_signature(dict(BODY, deadline_s=5)) == base
+        assert request_signature(dict(BODY, stream=True)) == base
+        assert request_signature(dict(BODY, include_events=False)) == base
+        # a missing session spec and an empty one are the same request
+        assert request_signature(dict(BODY, session={})) == base
+
+    def test_content_changes_the_signature(self):
+        base = request_signature(BODY)
+        other_kernel = {"request": {"source": KERNEL.replace(
+            "2.0", "3.0")}, "use_store": False}
+        assert request_signature(other_kernel) != base
+        assert request_signature(
+            dict(BODY, session={"dataset_size": 8})) != base
+        assert request_signature(dict(BODY, use_store=True)) != base
+
+    def test_signature_is_stable_across_key_order(self):
+        shuffled = {"use_store": False, "request": {"source": KERNEL}}
+        assert request_signature(shuffled) == request_signature(BODY)
+
+
+# ----------------------------------------------------------------------
+# the journal state machine (unit, over a real on-disk store)
+# ----------------------------------------------------------------------
+class TestRequestJournal:
+    def test_lifecycle_admitted_started_completed(self, tmp_path):
+        journal = RequestJournal(open_store(tmp_path / "store", "local"))
+        signature = request_signature(BODY)
+
+        journal.admitted(signature, BODY)
+        record = journal.record(signature)
+        assert record["status"] == "admitted"
+        assert record["attempts"] == 1
+        assert record["body"] == BODY
+        assert journal.result(signature) is None
+
+        journal.started(signature)
+        assert journal.record(signature)["status"] == "started"
+        assert [sig for sig, _ in journal.unfinished()] == [signature]
+
+        journal.completed(signature, {"verdict": "ok"})
+        assert journal.result(signature) == {"verdict": "ok"}
+        assert journal.unfinished() == []
+        assert journal.stats().entries >= 1
+        assert journal.describe().startswith(f"{JOURNAL_STREAM}@")
+
+    def test_failed_records_do_not_short_circuit(self, tmp_path):
+        journal = RequestJournal(open_store(tmp_path / "store", "local"))
+        signature = request_signature(BODY)
+        journal.admitted(signature, BODY)
+        journal.started(signature)
+        journal.failed(signature, {"kind": "backend", "message": "x"})
+
+        record = journal.record(signature)
+        assert record["status"] == "failed"
+        assert record["error"]["kind"] == "backend"
+        assert journal.result(signature) is None  # must re-execute
+        assert journal.unfinished() == []  # failure is a definite state
+
+        # resubmission re-admits: attempts bumps, the error clears
+        journal.admitted(signature, BODY)
+        record = journal.record(signature)
+        assert record["attempts"] == 2
+        assert "error" not in record
+
+    def test_volatile_backend_is_refused(self, tmp_path):
+        with pytest.raises(JournalUnavailable) as excinfo:
+            RequestJournal(InMemoryStore(tmp_path))
+        assert "--no-journal" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# the daemon end to end: dedup, recovery, refusal
+# ----------------------------------------------------------------------
+class TestDaemonJournal:
+    def test_duplicates_short_circuit_byte_identically(self,
+                                                       make_daemon):
+        daemon = make_daemon()
+        status, first = _post(daemon.address, BODY)
+        assert status == 200
+        assert first == _expected_bytes()
+        assert daemon.metrics.get("journal_hits_total") == 0
+
+        status, second = _post(daemon.address, BODY)
+        assert status == 200
+        assert second == first
+        assert daemon.metrics.get("journal_hits_total") == 1
+
+        # different delivery options are still the same computation
+        status, third = _post(daemon.address, dict(BODY, deadline_s=90))
+        assert third == first
+        assert daemon.metrics.get("journal_hits_total") == 2
+
+        # ... and event verbosity is applied to the journaled hit
+        status, slim = _post(daemon.address,
+                             dict(BODY, include_events=False))
+        assert slim == _expected_bytes(include_events=False)
+        assert daemon.metrics.get("journal_hits_total") == 3
+        assert daemon.metrics.get("completed_total") == 4
+
+    def test_failures_are_journaled_but_re_executed(self, make_daemon):
+        daemon = make_daemon()
+        body = dict(BODY, session={"llm_backend": "faulty"})
+        signature = request_signature(body)
+        install_plan(FaultPlan.parse("llm.generate:raise:always"))
+
+        status, text = _post(daemon.address, body)
+        assert status == 502
+        record = daemon.journal.record(signature)
+        assert record["status"] == "failed"
+        assert record["attempts"] == 1
+
+        install_plan(None)  # circumstances improve; content unchanged
+        status, text = _post(daemon.address, body)
+        assert status == 200
+        record = daemon.journal.record(signature)
+        assert record["status"] == "completed"
+        assert record["attempts"] == 2
+        assert daemon.metrics.get("journal_hits_total") == 0
+
+    def test_recover_replays_unfinished_requests(self, make_daemon):
+        # a daemon died mid-request: the journal holds a started record
+        signature = request_signature(BODY)
+        journal = RequestJournal(
+            open_store(Path(cache_dir()) / STORE_DIR))
+        journal.admitted(signature, BODY)
+        journal.started(signature)
+
+        daemon = make_daemon(recover=True)  # replays during boot
+        assert daemon.metrics.get("journal_replayed_total") == 1
+        record = daemon.journal.record(signature)
+        assert record["status"] == "completed"
+
+        # the original client resubmits: instant, byte-identical
+        status, text = _post(daemon.address, BODY)
+        assert status == 200
+        assert text == _expected_bytes()
+        assert daemon.metrics.get("journal_hits_total") == 1
+
+    def test_recover_survives_an_unreplayable_record(self, make_daemon):
+        signature = "deadbeef" * 8
+        journal = RequestJournal(
+            open_store(Path(cache_dir()) / STORE_DIR))
+        journal.admitted(signature, {"request": {"source": "not a scop"}})
+
+        daemon = make_daemon(recover=True)  # boots anyway
+        assert daemon.metrics.get("journal_replay_failed_total") == 1
+        record = daemon.journal.record(signature)
+        assert record["status"] == "failed"
+        assert record["error"]["kind"] == "replay_failed"
+
+    def test_volatile_backend_refused_unless_no_journal(
+            self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_STORE_BACKEND", "memory")
+        with pytest.raises(JournalUnavailable):
+            ServeDaemon(ServeConfig(port=0, journal=True))
+        daemon = ServeDaemon(ServeConfig(port=0, journal=False))
+        assert daemon.journal is None  # explicit opt-out works
+
+        # the CLI surfaces the refusal as a clean exit, not a traceback
+        from repro.cli import main
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--port", "0"])
+        assert "journal" in str(excinfo.value)
+
+    def test_store_stats_reports_the_journal_stream(self, make_daemon,
+                                                    capsys):
+        daemon = make_daemon()
+        status, _ = _post(daemon.address, BODY)
+        assert status == 200
+
+        from repro.cli import main
+        assert main(["store", "stats", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert JOURNAL_STREAM in doc["streams"]
+        assert doc["streams"][JOURNAL_STREAM]["entries"] == 1
+
+
+# ----------------------------------------------------------------------
+# config knobs
+# ----------------------------------------------------------------------
+class TestJournalConfig:
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_JOURNAL", "0")
+        monkeypatch.setenv("REPRO_WORKER_POOL", "3")
+        monkeypatch.setenv("REPRO_WORKER_MEM_MB", "256")
+        monkeypatch.setenv("REPRO_WORKER_HANG", "12.5")
+        config = ServeConfig.from_env()
+        assert config.journal is False
+        assert config.workers == 3
+        assert config.worker_memory_mb == 256
+        assert config.worker_hang_timeout == 12.5
+        assert ServeConfig.from_env(journal=True).journal is True
