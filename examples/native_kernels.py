@@ -1,0 +1,118 @@
+"""Native kernel tier: the same SCoP through all three engines.
+
+The ``native`` engine lowers each program to C, compiles it with the
+host toolchain and runs it through ctypes — bit-identical to the
+``reference`` tree-walker, but at compiled-code speed.  Compiled
+kernels land in a persistent on-disk cache, so the second run of any
+program (even from another process) skips the compiler entirely.
+
+Without a usable C compiler the engine degrades to ``vectorized``
+with a single warning, so this script works either way.
+
+Run with:  python examples/native_kernels.py
+(set REPRO_EXAMPLE_SIZE to shrink the problem size)
+"""
+
+import os
+import time
+import warnings
+
+warnings.filterwarnings("ignore")
+
+import numpy as np
+
+from repro.codegen.ckernel import emit_module
+from repro.ir import parse_scop
+from repro.runtime import allocate, checksum, engine_override, execute
+from repro.runtime.native import (kernel_cache_report, kernel_stats,
+                                  toolchain_info)
+
+# `gemm` from PolyBench — a dense three-deep loop nest where the
+# compiled kernel pays off most.
+SOURCE = """
+scop gemm(NI, NJ, NK) {
+  scalars alpha=1.5 beta=1.2;
+  array C[NI][NJ] output;
+  array A[NI][NK];
+  array B[NK][NJ];
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NJ; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < NK; k++)
+      for (j = 0; j < NJ; j++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+  }
+}
+"""
+
+# keep the default under the interpreter's 2M-instance budget
+SIZE = int(os.environ.get("REPRO_EXAMPLE_SIZE", "110"))
+
+
+def run(program, params, repeats=2):
+    """Best-of-N timing: the first native run pays the one-time compile."""
+    best = None
+    for _ in range(repeats):
+        storage = allocate(program, params, variant=1)
+        start = time.perf_counter()
+        instances = execute(program, params, storage)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    total = checksum(storage, program.outputs)
+    return storage, total, instances, best
+
+
+def main() -> None:
+    program = parse_scop(SOURCE)
+    params = {"NI": SIZE, "NJ": SIZE, "NK": SIZE}
+
+    # 1. What would the native tier compile?  The emitter produces one
+    #    self-contained C module per program: a span kernel for every
+    #    statement plus (when the schedule allows) a whole-nest `run`.
+    module = emit_module(program)
+    print("== emitted C (first lines) ==")
+    print("\n".join(module.source.splitlines()[:12]))
+    print(f"... {len(module.source.splitlines())} lines, "
+          f"{len(module.statements)} span kernel(s), "
+          f"whole-nest: {module.has_whole}\n")
+
+    # 2. Is there a toolchain?  `REPRO_CC` overrides discovery; without
+    #    any compiler the native engine falls back to vectorized.
+    info = toolchain_info()
+    if info["available"]:
+        print(f"toolchain: {info['cc']} ({info['version']}), "
+              f"signature {info['signature']}")
+    else:
+        print("no C toolchain found -- native will degrade to vectorized")
+
+    # 3. Same program, three engines.  All three must agree bit-for-bit
+    #    on every output element and on the instance count.
+    results = {}
+    for engine in ("reference", "vectorized", "native"):
+        with engine_override(engine):
+            results[engine] = run(program, params)
+        storage, total, instances, elapsed = results[engine]
+        print(f"{engine:10s} {elapsed * 1000:9.2f} ms   "
+              f"checksum {total:.6e}   {instances} instances")
+
+    ref = results["reference"][0]
+    for engine in ("vectorized", "native"):
+        for name in ref:
+            assert np.array_equal(results[engine][0][name], ref[name],
+                                  equal_nan=True), (engine, name)
+    print("all engines bit-identical\n")
+
+    # 4. The compiler ran at most once: every repeat above reused the
+    #    in-process context cache, and a fresh process would hit the
+    #    on-disk cache instead of recompiling.
+    stats = kernel_stats()
+    print(f"kernel stats: {stats['compiles']} compile(s), "
+          f"{stats['disk_hits']} disk hit(s), "
+          f"{stats['memory_hits']} memory hit(s)")
+    report = kernel_cache_report()
+    print(f"kernel cache: {report['kernels']} kernel(s), "
+          f"{report['bytes']} bytes at {report['path']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -520,6 +520,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
         return cmd_perf_analysis(args)
     if args.param is None:
         args.param = 20
+    if args.target == "kernels":
+        return cmd_perf_kernels(args)
 
     from .runtime import (allocate, checksum, clone_storage,
                           engine_override, execute)
@@ -604,6 +606,114 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def cmd_perf_kernels(args: argparse.Namespace) -> int:
+    """Measure the native compiled-kernel tier against the others.
+
+    Every kernel runs under ``reference``, ``vectorized`` and ``native``
+    at a uniform parameter binding.  The headline ``speedup`` column is
+    native-vs-vectorized — the *measured* gain of compiled C over the
+    NumPy block executor — and the report embeds the discovered
+    toolchain.  Without a C toolchain the native tier degrades to the
+    vectorized engine, so the parity gate still holds (speedups just
+    hover around 1x).  Any bit-level mismatch makes the exit code 1.
+    """
+    import json
+    import time
+
+    from .runtime import (allocate, checksum, clone_storage,
+                          engine_override, execute)
+    from .runtime.native import toolchain_info
+    from .suites import SUITES
+
+    engines = ("reference", "vectorized", "native")
+    suite = SUITES[args.suite]()
+    benchmarks = list(suite)
+    if args.limit is not None:
+        benchmarks = benchmarks[:args.limit]
+
+    def measure(program, params, engine):
+        """(best seconds, observed result); errors become the result."""
+        with engine_override(engine):
+            pristine = allocate(program, params)
+            best = float("inf")
+            result = None
+            for _ in range(max(1, args.repeat) + 1):  # lap 0 warms caches
+                storage = clone_storage(pristine)
+                t0 = time.perf_counter()
+                try:
+                    instances = execute(program, params, storage,
+                                        budget=args.budget)
+                except Exception as exc:
+                    return 0.0, ("error", type(exc).__name__)
+                elapsed = time.perf_counter() - t0
+                if result is None:  # warmup lap: record result, not time
+                    result = (checksum(storage, program.outputs),
+                              instances)
+                    continue
+                best = min(best, elapsed)
+        return best, result
+
+    rows = []
+    totals = {engine: 0.0 for engine in engines}
+    identical = True
+    for bench in benchmarks:
+        params = {name: args.param for name in bench.program.params}
+        times = {}
+        outs = {}
+        for engine in engines:
+            times[engine], outs[engine] = measure(bench.program, params,
+                                                  engine)
+            totals[engine] += times[engine]
+        match = (outs["reference"] == outs["vectorized"]
+                 == outs["native"])
+        identical &= match
+        failed = outs["reference"][0] == "error"
+        nat = times["native"]
+        rows.append({
+            "kernel": bench.name,
+            "instances": 0 if failed else outs["reference"][1],
+            "reference_ms": round(times["reference"] * 1000, 3),
+            "vectorized_ms": round(times["vectorized"] * 1000, 3),
+            "native_ms": round(nat * 1000, 3),
+            "speedup": (round(times["vectorized"] / nat, 2)
+                        if nat > 0 else 0.0),
+            "vs_reference": (round(times["reference"] / nat, 2)
+                             if nat > 0 else 0.0),
+            "identical": match,
+            "error": outs["reference"][1] if failed else None,
+        })
+
+    report = {
+        "suite": args.suite,
+        "param": args.param,
+        "repeat": args.repeat,
+        "target": "kernels",
+        "toolchain": toolchain_info(),
+        "kernels": rows,
+        "total_reference_s": round(totals["reference"], 4),
+        "total_vectorized_s": round(totals["vectorized"], 4),
+        "total_native_s": round(totals["native"], 4),
+        "aggregate_speedup": (
+            round(totals["vectorized"] / totals["native"], 2)
+            if totals["native"] > 0 else 0.0),
+        "aggregate_vs_reference": (
+            round(totals["reference"] / totals["native"], 2)
+            if totals["native"] > 0 else 0.0),
+        "bit_identical": identical,
+    }
+    from .evaluation.reporting import render_kernels_perf
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_kernels_perf(report))
+    return 0 if identical else 1
+
+
 def _store_for_maintenance(args: argparse.Namespace):
     """The ResultStore targeted by ``repro store`` subcommands.
 
@@ -620,31 +730,43 @@ def cmd_store_stats(args: argparse.Namespace) -> int:
     """Per-stream shape of the artifact store (entries, waste, bytes)."""
     import json
 
+    from pathlib import Path
+
+    from .evaluation.store import cache_dir
+    from .runtime.native import kernel_cache_report
+
     store = _store_for_maintenance(args)
     artifacts = store.artifacts()
     streams = artifacts.streams()
+    kernels = kernel_cache_report(Path(args.cache_dir or cache_dir()))
     report = {
         "backend": artifacts.name,
         "root": artifacts.root,
         "streams": {name: artifacts.stream_stats(name).to_dict()
                     for name in streams},
+        "kernels": kernels,
     }
     if args.format == "json":
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0
     print(f"# store: {artifacts.describe()}")
-    if not streams:
+    if streams:
+        header = (f"{'stream':12s} {'entries':>8s} {'superseded':>11s} "
+                  f"{'tombstones':>11s} {'corrupt':>8s} {'shards':>7s} "
+                  f"{'bytes':>12s}")
+        print(header)
+        for name in streams:
+            s = report["streams"][name]
+            print(f"{name:12s} {s['entries']:8d} {s['superseded']:11d} "
+                  f"{s['tombstones']:11d} {s['corrupt']:8d} "
+                  f"{s['shards']:7d} {s['bytes']:12d}")
+    else:
         print("(empty)")
-        return 0
-    header = (f"{'stream':12s} {'entries':>8s} {'superseded':>11s} "
-              f"{'tombstones':>11s} {'corrupt':>8s} {'shards':>7s} "
-              f"{'bytes':>12s}")
-    print(header)
-    for name in streams:
-        s = report["streams"][name]
-        print(f"{name:12s} {s['entries']:8d} {s['superseded']:11d} "
-              f"{s['tombstones']:11d} {s['corrupt']:8d} "
-              f"{s['shards']:7d} {s['bytes']:12d}")
+    signatures = ", ".join(sorted(kernels["signatures"])) or "-"
+    print(f"# kernels: {kernels['kernels']} compiled "
+          f"({kernels['bytes']} bytes, {kernels['stale']} stale) "
+          f"toolchain={kernels['toolchain'] or 'none'} "
+          f"signatures=[{signatures}]")
     return 0
 
 
@@ -652,15 +774,24 @@ def cmd_store_compact(args: argparse.Namespace) -> int:
     """Drop superseded/tombstoned/corrupt records from every stream."""
     import json
 
+    from pathlib import Path
+
+    from .evaluation.store import cache_dir
+    from .runtime.native import kernel_cache_gc
+
     store = _store_for_maintenance(args)
     artifacts = store.artifacts()
     streams = ([args.stream] if args.stream
                else list(artifacts.streams()))
     reports = [artifacts.compact(name) for name in streams]
+    # kernels compiled by a toolchain that no longer matches the current
+    # compiler can never be loaded again under their cache key — GC them
+    kernels = kernel_cache_gc(Path(args.cache_dir or cache_dir()))
     if args.format == "json":
         print(json.dumps({"backend": artifacts.name,
                           "root": artifacts.root,
-                          "compacted": [r.to_dict() for r in reports]},
+                          "compacted": [r.to_dict() for r in reports],
+                          "kernels": kernels},
                          indent=2, sort_keys=True))
         return 0
     print(f"# store: {artifacts.describe()}")
@@ -671,6 +802,9 @@ def cmd_store_compact(args: argparse.Namespace) -> int:
               f"{report.dropped_superseded} superseded, "
               f"{report.dropped_tombstones} tombstones, "
               f"{report.dropped_corrupt} corrupt")
+    print(f"# kernels: kept {kernels['kept']}, removed "
+          f"{kernels['removed']} stale-toolchain "
+          f"({kernels['reclaimed_bytes']} bytes reclaimed)")
     return 0
 
 
@@ -869,10 +1003,12 @@ def build_parser() -> argparse.ArgumentParser:
     per = sub.add_parser(
         "perf", help="engine micro-benchmarks (vectorized vs reference)")
     per.add_argument("--target", default="interpreter",
-                     choices=("interpreter", "analysis"),
+                     choices=("interpreter", "analysis", "kernels"),
                      help="what to benchmark: SCoP execution "
-                          "(interpreter) or dependence analysis + "
-                          "legality queries (analysis)")
+                          "(interpreter), dependence analysis + "
+                          "legality queries (analysis), or the native "
+                          "compiled-kernel tier vs vectorized vs "
+                          "reference (kernels)")
     per.add_argument("--suite", default="polybench",
                      choices=BENCH_SUITES,
                      help="suite to time (default: polybench)")

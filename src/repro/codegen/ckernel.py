@@ -1,0 +1,456 @@
+"""C kernel emission for the native execution tier (``REPRO_ENGINE=native``).
+
+Two kinds of genuinely compilable C come out of :func:`emit_module`, both
+bound by the same contract as the vectorized engine: **bit-identical**
+results to the reference interpreter, or refusal.
+
+* a **span kernel** per statement (``run_s<i>``) — executes a run of
+  consecutive guard-passing instances *sequentially, in global schedule
+  order*, reading and writing through precomputed linear index columns.
+  Sequential execution in order reproduces the reference semantics by
+  construction, including dependence-carrying recurrences the NumPy
+  block executor must demote to per-instance Python steps; no scatter /
+  reduction / aliasing analysis is needed on this path.
+* a **whole-nest kernel** (``run(params, arrays)``) — the statement
+  schedules reconstructed as one C loop nest (the idea of
+  :mod:`repro.codegen.cprinter`, but emitted only when provably exact):
+  every schedule dimension must be a constant or a plain coeff-1
+  iterator, so the nest's lexicographic visit order *is* the global
+  instance order.  Tiled/skewed schedules refuse the whole-nest form and
+  fall back to span kernels.
+
+Bit-identity policy (why the lowering looks the way it does):
+
+* constants and baked scalar parameters are emitted as C99 hexadecimal
+  float literals — exact bits, no decimal round-trip;
+* ``/`` lowers to ``sdiv`` with the interpreter's ``b != 0`` guard;
+  ``sqrt`` to ``sqrt(fabs(x))`` (glibc sqrt is correctly rounded, like
+  ``math.sqrt``); ``fabs``/``pow2`` are exact; ``exp`` is **refused** —
+  the same last-ulp argument that keeps it off the NumPy vector path
+  (see ``runtime.compile._VECTOR_FUNCS``);
+* callers must compile with ``-ffp-contract=off`` and without fast-math
+  so the expression tree's rounding survives optimization (no FMA
+  contraction, no reassociation);
+* rank-mismatched references, rank-0 arrays, unknown arrays/functions
+  and unbound scalars refuse exactly like the vector lowering; refused
+  statements execute on the vectorized/scalar path instead.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..ir.affine import Affine
+from ..ir.expr import (Bin, Call, Const, Expr, IterExpr, Neg, Ref, Scalar)
+from ..ir.program import Program
+from ..ir.schedule import ConstDim, LoopDim
+
+#: calls with a bit-identical C lowering — ``exp`` deliberately absent,
+#: mirroring the vector-path refusal list
+_C_FUNCS = {
+    "sqrt": "sqrt(fabs({0}))",
+    "fabs": "fabs({0})",
+    "pow2": "sq({0})",
+}
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+_HEADER = """\
+#include <math.h>
+
+static double sdiv(double a, double b) { return b != 0.0 ? a / b : 0.0; }
+static double sq(double x) { return x * x; }
+static long long llmin2(long long a, long long b) { return a < b ? a : b; }
+static long long llmax2(long long a, long long b) { return a > b ? a : b; }
+"""
+
+
+class CUnsupported(Exception):
+    """The construct has no provably bit-identical C lowering."""
+
+
+def _c_double(value: float) -> str:
+    """A double literal with exact bits (hexfloat for non-integers)."""
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        raise CUnsupported("non-finite constant")
+    if value == int(value) and abs(value) <= 2.0 ** 53:
+        return f"{value:.1f}"
+    return value.hex()
+
+
+def _c_name(name: str) -> str:
+    if not _IDENT.match(name):
+        raise CUnsupported(f"name {name!r} is not a C identifier")
+    return name
+
+
+def _c_affine(expr: Affine, names: Mapping[str, str]) -> str:
+    """An affine expression over renamed ``long long`` variables."""
+    parts = [str(expr.const)]
+    for var, coeff in expr.terms:
+        cv = names.get(var)
+        if cv is None:
+            raise CUnsupported(f"affine references unbound name {var!r}")
+        parts.append(cv if coeff == 1 else f"({coeff})*{cv}")
+    return "(" + " + ".join(parts) + ")"
+
+
+@dataclass(frozen=True)
+class StatementKernel:
+    """Metadata the runtime needs to drive one span kernel."""
+
+    si: int
+    name: str                       # statement name, for diagnostics
+    func: str                       # C symbol (``run_s<si>``)
+    op: str
+    write_array: str
+    read_arrays: Tuple[str, ...]    # RHS reads in tree order
+    iter_affines: Tuple[Affine, ...]  # IterExpr occurrences in tree order
+
+
+@dataclass(frozen=True)
+class KernelModule:
+    """One program lowered to a single C translation unit."""
+
+    source: str
+    statements: Tuple[StatementKernel, ...]
+    has_whole: bool
+    param_names: Tuple[str, ...]    # ``run()`` params vector order
+    array_names: Tuple[str, ...]    # ``run()`` arrays vector order
+    refusals: Tuple[Tuple[str, str], ...]  # (statement, reason)
+
+
+# ----------------------------------------------------------------------
+# expression lowering
+# ----------------------------------------------------------------------
+def _check_refs(program: Program, stmt) -> None:
+    """The structural refusal list shared with the vector path."""
+    ranks = {decl.name: decl.rank for decl in program.arrays}
+    for ref in [stmt.body.lhs] + list(stmt.body.rhs.reads()):
+        rank = ranks.get(ref.array)
+        if rank is None:
+            raise CUnsupported(f"unknown array {ref.array!r}")
+        if rank != len(ref.indices):
+            raise CUnsupported(f"rank mismatch on {ref.array!r}")
+        if rank == 0:
+            raise CUnsupported(f"rank-0 array {ref.array!r}")
+
+
+def _lower_expr(expr: Expr, scalars: Mapping[str, float],
+                ref_text, iter_text) -> str:
+    """Shared RHS lowering; refs/iters resolve through the callbacks."""
+    if isinstance(expr, Const):
+        return _c_double(expr.value)
+    if isinstance(expr, Scalar):
+        if expr.name not in scalars:
+            raise CUnsupported(f"unbound scalar {expr.name!r}")
+        return _c_double(scalars[expr.name])
+    if isinstance(expr, IterExpr):
+        return iter_text(expr)
+    if isinstance(expr, Ref):
+        return ref_text(expr)
+    if isinstance(expr, Bin):
+        lhs = _lower_expr(expr.lhs, scalars, ref_text, iter_text)
+        rhs = _lower_expr(expr.rhs, scalars, ref_text, iter_text)
+        if expr.op == "/":
+            return f"sdiv({lhs}, {rhs})"
+        return f"({lhs} {expr.op} {rhs})"
+    if isinstance(expr, Neg):
+        return f"(-{_lower_expr(expr.operand, scalars, ref_text, iter_text)})"
+    if isinstance(expr, Call):
+        template = _C_FUNCS.get(expr.func)
+        if template is None:
+            raise CUnsupported(f"call {expr.func!r} has no exact C lowering")
+        return template.format(
+            _lower_expr(expr.arg, scalars, ref_text, iter_text))
+    raise CUnsupported(f"unknown expression node {type(expr).__name__}")
+
+
+def _apply_op(target: str, op: str, value: str,
+              pad: str) -> List[str]:
+    """The assignment with the interpreter's ``/=`` zero guard."""
+    if op == "/=":
+        return [f"{pad}{{ double v = {value};",
+                f"{pad}  long long w = {target};",
+                f"{pad}  wa[w] = v != 0.0 ? wa[w] / v : 0.0; }}"]
+    return [f"{pad}wa[{target}] {op} {value};"]
+
+
+# ----------------------------------------------------------------------
+# span kernels
+# ----------------------------------------------------------------------
+def _emit_statement(program: Program, si: int, stmt,
+                    scalars: Mapping[str, float]
+                    ) -> Tuple[List[str], StatementKernel]:
+    _check_refs(program, stmt)
+    body = stmt.body
+    reads = list(body.rhs.reads())
+    slots: Dict[int, int] = {id(ref): k for k, ref in enumerate(reads)}
+    iters: List[Affine] = []
+
+    def ref_text(ref: Ref) -> str:
+        k = slots[id(ref)]
+        return f"r{k}a[r{k}i[g]]"
+
+    def iter_text(node: IterExpr) -> str:
+        iters.append(node.expr)
+        return f"x{len(iters) - 1}[g]"
+
+    value = _lower_expr(body.rhs, scalars, ref_text, iter_text)
+    wname = _c_name(body.lhs.array)
+    aliased = any(ref.array == wname for ref in reads)
+    # restrict is only honest when no read pointer can name the written
+    # array — compound self-updates go through ``wa`` itself and are fine
+    wq = "double *wa" if aliased else "double *restrict wa"
+    args = ["long long a", "long long b",
+            "const long long *restrict wi", wq]
+    for k, ref in enumerate(reads):
+        _c_name(ref.array)
+        rq = ("const double *" if ref.array == wname
+              else "const double *restrict ")
+        args.append(f"const long long *restrict r{k}i")
+        args.append(f"{rq}r{k}a")
+    for j in range(len(iters)):
+        args.append(f"const double *restrict x{j}")
+
+    func = f"run_s{si}"
+    lines = [f"void {func}(" + ", ".join(args) + ")", "{",
+             "  long long g;",
+             "  for (g = a; g < b; ++g) {"]
+    if body.op == "/=":
+        lines += [line[2:] if False else line
+                  for line in _apply_op("wi[g]", body.op, value, "    ")]
+    else:
+        lines += _apply_op("wi[g]", body.op, value, "    ")
+    lines += ["  }", "}"]
+    spec = StatementKernel(
+        si=si, name=stmt.name, func=func, op=body.op,
+        write_array=body.lhs.array,
+        read_arrays=tuple(ref.array for ref in reads),
+        iter_affines=tuple(iters))
+    return lines, spec
+
+
+# ----------------------------------------------------------------------
+# whole-nest kernel
+# ----------------------------------------------------------------------
+def _loop_levels(program: Program) -> Optional[List[Dict[int, str]]]:
+    """Per statement: schedule level -> iterator name, or None to refuse.
+
+    Only canonical dimensions are accepted: constants, or ``LoopDim``
+    over exactly one domain iterator with coefficient 1 and offset 0,
+    each iterator bound exactly once.  Anything else (tiles, skews,
+    parameter-valued dims) means the rendered nest order could diverge
+    from the true lexicographic instance order, so the whole-nest form
+    refuses and the span kernels take over.
+    """
+    aligned = program.aligned_schedules()
+    levels: List[Dict[int, str]] = []
+    for si, stmt in enumerate(program.statements):
+        names = stmt.domain.iterator_names
+        seen: Dict[int, str] = {}
+        for d, dim in enumerate(aligned[si].dims):
+            if isinstance(dim, ConstDim):
+                continue
+            if not isinstance(dim, LoopDim):
+                return None
+            expr = dim.expr
+            if len(expr.terms) != 1 or expr.const != 0:
+                return None
+            var, coeff = expr.terms[0]
+            if coeff != 1 or var not in names or var in seen.values():
+                return None
+            seen[d] = var
+        if set(seen.values()) != set(names):
+            return None
+        levels.append(seen)
+    return levels
+
+
+def _emit_whole(program: Program,
+                scalars: Mapping[str, float]) -> Optional[List[str]]:
+    levels = _loop_levels(program)
+    if levels is None or not program.statements:
+        return None
+    aligned = program.aligned_schedules()
+    width = len(aligned[0].dims)
+    params = set(program.params)
+    name_maps: List[Dict[str, str]] = []
+    for si, stmt in enumerate(program.statements):
+        mapping = {p: f"p_{p}" for p in program.params}
+        mapping.update({it: f"t{lvl}" for lvl, it in levels[si].items()})
+        name_maps.append(mapping)
+        # SCoP well-formedness along the *schedule* order: bounds at a
+        # level may only mention params and iterators of outer levels
+        bound_so_far = set(params)
+        for lvl in sorted(levels[si]):
+            spec = stmt.domain.spec(levels[si][lvl])
+            for bound in spec.lowers + spec.uppers:
+                if not set(bound.variables()) <= bound_so_far:
+                    return None
+            bound_so_far.add(spec.name)
+
+    referenced: List[str] = []
+    for stmt in program.statements:
+        for ref in [stmt.body.lhs] + list(stmt.body.rhs.reads()):
+            if ref.array not in referenced:
+                referenced.append(ref.array)
+
+    lines: List[str] = [
+        "void run(const long long *restrict params, "
+        "double *const *restrict arrays)", "{"]
+    for k, pname in enumerate(program.params):
+        lines.append(f"  const long long p_{_c_name(pname)} = params[{k}];")
+    decl_index = {d.name: k for k, d in enumerate(program.arrays)}
+    pnames = {p: f"p_{p}" for p in program.params}
+    for decl in program.arrays:
+        if decl.name not in referenced:
+            continue
+        a = f"a_{_c_name(decl.name)}"
+        lines.append(f"  double *restrict {a} = "
+                     f"arrays[{decl_index[decl.name]}];")
+        for d, dim in enumerate(decl.dims):
+            lines.append(f"  const long long {a}_d{d} = "
+                         f"{_c_affine(dim, pnames)};")
+        for d in range(decl.rank - 2, -1, -1):
+            prev = (f"{a}_s{d + 1} * " if d < decl.rank - 2 else "")
+            lines.append(f"  const long long {a}_s{d} = "
+                         f"{prev}{a}_d{d + 1};")
+
+    def flat_index(ref: Ref, names: Mapping[str, str]) -> str:
+        a = f"a_{ref.array}"
+        rank = len(ref.indices)
+        terms = []
+        for d, ix in enumerate(ref.indices):
+            e = _c_affine(ix, names)
+            terms.append(e if d == rank - 1 else f"{e}*{a}_s{d}")
+        return " + ".join(terms)
+
+    def emit_body(si: int, indent: int) -> None:
+        stmt = program.statements[si]
+        names = name_maps[si]
+        pad = "  " * indent
+        conds: List[str] = []
+        for lvl in sorted(levels[si]):
+            spec = stmt.domain.spec(levels[si][lvl])
+            tv = f"t{lvl}"
+            for lo in spec.lowers:
+                conds.append(f"{tv} >= {_c_affine(lo, names)}")
+            for hi in spec.uppers:
+                conds.append(f"{tv} <= {_c_affine(hi, names)}")
+        for guard in stmt.guards:
+            conds.append(f"{_c_affine(guard, names)} >= 0")
+
+        value = _lower_expr(
+            stmt.body.rhs, scalars,
+            lambda ref: f"a_{ref.array}[{flat_index(ref, names)}]",
+            lambda node: f"(double){_c_affine(node.expr, names)}")
+        target = flat_index(stmt.body.lhs, names)
+        wa = f"a_{stmt.body.lhs.array}"
+        if stmt.body.op == "/=":
+            body = [f"{pad}  {{ double v = {value};",
+                    f"{pad}    long long w = {target};",
+                    f"{pad}    {wa}[w] = v != 0.0 ? {wa}[w] / v : 0.0; }}"]
+        else:
+            body = [f"{pad}  {wa}[{target}] {stmt.body.op} {value};"]
+        if conds:
+            lines.append(f"{pad}if ({' && '.join(conds)}) {{")
+            lines.extend(body)
+            lines.append(f"{pad}}}")
+        else:
+            lines.extend(line[2:] for line in body)
+
+    def render(group: List[int], level: int, indent: int) -> bool:
+        if level == width:
+            for si in group:
+                emit_body(si, indent)
+            return True
+        kinds = {type(aligned[si].dims[level]) for si in group}
+        if kinds == {ConstDim}:
+            by_value: Dict[int, List[int]] = {}
+            for si in group:
+                by_value.setdefault(aligned[si].dims[level].value,
+                                    []).append(si)
+            for value in sorted(by_value):
+                if not render(by_value[value], level + 1, indent):
+                    return False
+            return True
+        if kinds == {LoopDim}:
+            pad = "  " * indent
+            tv = f"t{level}"
+            los: List[str] = []
+            his: List[str] = []
+            for si in group:
+                stmt = program.statements[si]
+                spec = stmt.domain.spec(levels[si][level])
+                names = name_maps[si]
+                lo = _c_affine(spec.lowers[0], names)
+                for bound in spec.lowers[1:]:
+                    lo = f"llmax2({lo}, {_c_affine(bound, names)})"
+                hi = _c_affine(spec.uppers[0], names)
+                for bound in spec.uppers[1:]:
+                    hi = f"llmin2({hi}, {_c_affine(bound, names)})"
+                los.append(lo)
+                his.append(hi)
+            lines.append(f"{pad}{{")
+            lines.append(f"{pad}  long long lo{level} = {los[0]};")
+            lines.append(f"{pad}  long long hi{level} = {his[0]};")
+            for lo, hi in zip(los[1:], his[1:]):
+                lines.append(f"{pad}  lo{level} = llmin2(lo{level}, {lo});")
+                lines.append(f"{pad}  hi{level} = llmax2(hi{level}, {hi});")
+            lines.append(f"{pad}  for (long long {tv} = lo{level}; "
+                         f"{tv} <= hi{level}; ++{tv}) {{")
+            ok = render(group, level + 1, indent + 2)
+            lines.append(f"{pad}  }}")
+            lines.append(f"{pad}}}")
+            return ok
+        return False  # const/loop mixed at one level: order not a nest
+
+    if not render(list(range(len(program.statements))), 0, 1):
+        return None
+    lines.append("}")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# module assembly
+# ----------------------------------------------------------------------
+def emit_module(program: Program) -> KernelModule:
+    """Lower ``program`` to one C translation unit.
+
+    Refused statements are listed (with reasons) instead of emitted; the
+    whole-nest kernel appears only when *every* statement lowers and the
+    schedule forest reconstructs exactly.
+    """
+    scalars = program.scalar_values()
+    pieces: List[str] = [_HEADER]
+    kernels: List[StatementKernel] = []
+    refusals: List[Tuple[str, str]] = []
+    for si, stmt in enumerate(program.statements):
+        try:
+            lines, spec = _emit_statement(program, si, stmt, scalars)
+        except CUnsupported as exc:
+            refusals.append((stmt.name, str(exc)))
+            continue
+        pieces.append("\n".join(lines))
+        kernels.append(spec)
+
+    whole: Optional[List[str]] = None
+    if not refusals and program.statements:
+        try:
+            whole = _emit_whole(program, scalars)
+        except CUnsupported:
+            whole = None
+    if whole is not None:
+        pieces.append("\n".join(whole))
+
+    return KernelModule(
+        source="\n\n".join(pieces) + "\n",
+        statements=tuple(kernels),
+        has_whole=whole is not None,
+        param_names=program.params,
+        array_names=tuple(d.name for d in program.arrays),
+        refusals=tuple(refusals))

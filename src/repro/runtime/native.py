@@ -1,0 +1,557 @@
+"""Native compiled-kernel execution tier (``REPRO_ENGINE=native``).
+
+This module owns everything between the C source emitted by
+:mod:`repro.codegen.ckernel` and a callable ``ctypes`` function:
+
+* **toolchain discovery** — ``REPRO_CC`` if set (an explicit override
+  that does not resolve means *no toolchain*, even if ``gcc`` exists),
+  else the first of ``cc``/``gcc``/``clang`` on PATH.  A toolchain
+  *signature* (hash of resolved path, ``--version`` banner and flags)
+  keys compiled artifacts so a compiler upgrade never serves stale code.
+* **a process-wide on-disk kernel cache** under ``<cache-dir>/kernels/``
+  (``REPRO_CACHE_DIR``, default ``.repro_cache``): ``<key>.so`` plus the
+  ``<key>.c`` source and a ``<key>.json`` sidecar recording the
+  toolchain signature.  Installs are flock-guarded tmp+rename in the
+  ``storage/local.py`` idiom, so concurrent processes racing the same
+  fingerprint compile once and share the ``.so``; a corrupt or
+  truncated ``.so`` is evicted under the lock and rebuilt once.
+  ``REPRO_NO_CACHE`` bypasses the disk cache but still compiles, to a
+  per-process tempdir.
+* **the execution hooks** the vectorized driver calls:
+  :meth:`NativeContext.try_whole` (the whole program as one compiled
+  loop nest, when provably exact) and :meth:`NativeContext.run_span`
+  (one statement's run of consecutive guard-passing instances, executed
+  sequentially in global order).  Both reuse the driver's enumeration,
+  guard evaluation, bounds validation and budget accounting, so error
+  classes, messages, coverage and partial-write behaviour are shared
+  with the vectorized tier by construction.
+
+A missing toolchain degrades the whole tier to the vectorized engine
+with a single :class:`RuntimeWarning`; per-statement refusals (``exp``,
+rank mismatches, …) fall back statement-by-statement.  Either way every
+program still executes bit-identically to the reference interpreter.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+import warnings
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..codegen.ckernel import KernelModule, StatementKernel, emit_module
+from ..ir.affine import affine_column
+from ..ir.program import Program
+from .vectorized import _linear, _record_pending
+
+#: flags every kernel is compiled with; no fast-math and no FP
+#: contraction so C doubles round exactly like the interpreter's
+CFLAGS: Tuple[str, ...] = ("-O2", "-fPIC", "-shared", "-ffp-contract=off",
+                           "-fno-fast-math")
+
+ENV_CC = "REPRO_CC"
+_PROBE_ORDER = ("cc", "gcc", "clang")
+
+#: process-wide cache-behaviour counters (see :func:`kernel_stats`)
+KERNEL_STATS: Dict[str, int] = {"compiles": 0, "disk_hits": 0,
+                                "memory_hits": 0}
+_STATS_LOCK = threading.Lock()
+
+#: optional observer for cache events ("compile" | "disk_hit" |
+#: "memory_hit"); the serve daemon points this at its metrics so
+#: kernel-cache behaviour shows up in ``/metrics`` even from forked
+#: workers (relayed over the worker pipe)
+on_cache_event: Optional[Callable[[str], None]] = None
+
+_TOOLCHAIN_CACHE: Dict[str, Optional["Toolchain"]] = {}
+_WARNED: set = set()
+_MODULE_CACHE: Dict[str, ctypes.CDLL] = {}
+_CONTEXT_CACHE: Dict[Tuple[str, str], Optional["NativeContext"]] = {}
+_TMPDIR: Optional[str] = None
+
+
+class NativeCompileError(Exception):
+    """The discovered compiler failed to build a kernel."""
+
+
+class Toolchain:
+    """A resolved C compiler plus its cache-key signature."""
+
+    __slots__ = ("cc", "version", "signature")
+
+    def __init__(self, cc: str, version: str) -> None:
+        self.cc = cc
+        self.version = version
+        digest = hashlib.sha256()
+        digest.update(cc.encode())
+        digest.update(version.encode())
+        digest.update(" ".join(CFLAGS).encode())
+        self.signature = digest.hexdigest()[:16]
+
+
+def _note(kind: str) -> None:
+    with _STATS_LOCK:
+        key = {"compile": "compiles", "disk_hit": "disk_hits",
+               "memory_hit": "memory_hits"}[kind]
+        KERNEL_STATS[key] += 1
+    hook = on_cache_event
+    if hook is not None:
+        hook(kind)
+
+
+def kernel_stats() -> Dict[str, int]:
+    with _STATS_LOCK:
+        return dict(KERNEL_STATS)
+
+
+def reset_kernel_stats() -> None:
+    with _STATS_LOCK:
+        for key in KERNEL_STATS:
+            KERNEL_STATS[key] = 0
+
+
+def find_toolchain() -> Optional[Toolchain]:
+    """Discover the C toolchain, memoized per ``REPRO_CC`` value."""
+    key = os.environ.get(ENV_CC) or ""
+    if key in _TOOLCHAIN_CACHE:
+        return _TOOLCHAIN_CACHE[key]
+    cc: Optional[str] = None
+    if key:
+        # an explicit override must resolve on its own; never silently
+        # substitute a probed compiler for one the user asked for
+        cc = shutil.which(key) or (key if os.path.isfile(key)
+                                   and os.access(key, os.X_OK) else None)
+    else:
+        for cand in _PROBE_ORDER:
+            cc = shutil.which(cand)
+            if cc:
+                break
+    toolchain: Optional[Toolchain] = None
+    if cc:
+        try:
+            proc = subprocess.run([cc, "--version"], capture_output=True,
+                                  text=True, timeout=30)
+            banner = (proc.stdout or proc.stderr).splitlines()
+            if proc.returncode == 0 and banner:
+                toolchain = Toolchain(cc, banner[0].strip())
+        except (OSError, subprocess.SubprocessError):
+            toolchain = None
+    _TOOLCHAIN_CACHE[key] = toolchain
+    return toolchain
+
+
+def toolchain_info() -> Dict[str, object]:
+    """Introspection for CI/perf reports: what would ``native`` use?"""
+    tc = find_toolchain()
+    return {
+        "available": tc is not None,
+        "cc": tc.cc if tc else None,
+        "version": tc.version if tc else None,
+        "signature": tc.signature if tc else None,
+        "flags": list(CFLAGS),
+        "env_override": os.environ.get(ENV_CC) or None,
+    }
+
+
+def _warn_unavailable() -> None:
+    key = os.environ.get(ENV_CC) or ""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    hint = f"REPRO_CC={key!r}" if key else "cc/gcc/clang on PATH"
+    warnings.warn(
+        f"REPRO_ENGINE=native: no usable C toolchain ({hint}); "
+        "falling back to the vectorized engine (results are identical, "
+        "only slower)", RuntimeWarning, stacklevel=3)
+
+
+# ----------------------------------------------------------------------
+# on-disk kernel cache
+# ----------------------------------------------------------------------
+def kernels_dir(root: Optional[Path] = None) -> Path:
+    if root is None:
+        from ..evaluation.store import cache_dir
+        root = cache_dir()
+    return Path(root) / "kernels"
+
+
+def kernel_cache_key(source: str, toolchain: Toolchain) -> str:
+    digest = hashlib.sha256()
+    digest.update(source.encode())
+    digest.update(toolchain.signature.encode())
+    return digest.hexdigest()[:32]
+
+
+def _compile(toolchain: Toolchain, src_path: Path,
+             so_path: Path) -> None:
+    cmd = [toolchain.cc, *CFLAGS, "-o", str(so_path), str(src_path), "-lm"]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=120)
+    except (OSError, subprocess.SubprocessError) as exc:
+        raise NativeCompileError(f"{toolchain.cc}: {exc}") from exc
+    if proc.returncode != 0:
+        detail = (proc.stderr or proc.stdout or "").strip()
+        raise NativeCompileError(
+            f"{toolchain.cc} exited {proc.returncode}: {detail[:500]}")
+    _note("compile")
+
+
+def _tempdir() -> Path:
+    global _TMPDIR
+    if _TMPDIR is None:
+        _TMPDIR = tempfile.mkdtemp(prefix="repro-kernels-")
+    return Path(_TMPDIR)
+
+
+def load_module(source: str, toolchain: Toolchain) -> ctypes.CDLL:
+    """Compile-or-load ``source``, sharing ``.so`` files across processes.
+
+    Raises :class:`NativeCompileError` when the toolchain exists but the
+    build fails (callers degrade gracefully).
+    """
+    key = kernel_cache_key(source, toolchain)
+    lib = _MODULE_CACHE.get(key)
+    if lib is not None:
+        _note("memory_hit")
+        return lib
+
+    if os.environ.get("REPRO_NO_CACHE"):
+        so_path = _tempdir() / f"{key}.so"
+        if not so_path.exists():
+            src_path = _tempdir() / f"{key}.c"
+            src_path.write_text(source)
+            _compile(toolchain, src_path, so_path)
+        lib = ctypes.CDLL(str(so_path))
+        _MODULE_CACHE[key] = lib
+        return lib
+
+    from ..storage.local import exclusive_lock
+
+    root = kernels_dir()
+    root.mkdir(parents=True, exist_ok=True)
+    so_path = root / f"{key}.so"
+    lock_path = root / f"{key}.lock"
+
+    lib = None
+    if so_path.exists():
+        try:
+            lib = ctypes.CDLL(str(so_path))
+            _note("disk_hit")
+        except OSError:
+            # truncated/corrupt install (e.g. a crashed writer on a
+            # filesystem without atomic rename): evict under the lock
+            # below and rebuild once
+            lib = None
+    if lib is None:
+        with exclusive_lock(lock_path):
+            # the race loser finds the winner's install on re-check;
+            # anything still unloadable here gets evicted and rebuilt
+            if so_path.exists():
+                try:
+                    lib = ctypes.CDLL(str(so_path))
+                    _note("disk_hit")
+                except OSError:
+                    try:
+                        so_path.unlink()
+                    except OSError:
+                        pass
+                    lib = None
+            if lib is None:
+                src_path = root / f"{key}.c"
+                tmp_src = root / f"{key}.{os.getpid()}.tmp.c"
+                tmp_so = root / f"{key}.{os.getpid()}.tmp.so"
+                try:
+                    tmp_src.write_text(source)
+                    _compile(toolchain, tmp_src, tmp_so)
+                    os.replace(tmp_src, src_path)
+                    os.replace(tmp_so, so_path)
+                finally:
+                    for tmp in (tmp_src, tmp_so):
+                        try:
+                            tmp.unlink()
+                        except OSError:
+                            pass
+                meta = {"signature": toolchain.signature,
+                        "cc": toolchain.cc,
+                        "version": toolchain.version,
+                        "flags": list(CFLAGS)}
+                tmp_meta = root / f"{key}.{os.getpid()}.tmp.json"
+                tmp_meta.write_text(json.dumps(meta, sort_keys=True))
+                os.replace(tmp_meta, root / f"{key}.json")
+                lib = ctypes.CDLL(str(so_path))
+    _MODULE_CACHE[key] = lib
+    return lib
+
+
+def kernel_cache_report(root: Optional[Path] = None) -> Dict[str, object]:
+    """What ``repro store stats`` shows for the kernels directory."""
+    directory = kernels_dir(root)
+    tc = find_toolchain()
+    current = tc.signature if tc else None
+    count = 0
+    size = 0
+    signatures: Dict[str, int] = {}
+    stale = 0
+    if directory.is_dir():
+        for so in sorted(directory.glob("*.so")):
+            if ".tmp." in so.name:
+                continue
+            count += 1
+            for suffix in (".so", ".c", ".json"):
+                path = so.with_suffix(suffix)
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    pass
+            sig = "unknown"
+            meta = so.with_suffix(".json")
+            try:
+                sig = json.loads(meta.read_text()).get("signature",
+                                                       "unknown")
+            except (OSError, ValueError):
+                pass
+            signatures[sig] = signatures.get(sig, 0) + 1
+            if current is not None and sig != current:
+                stale += 1
+    return {"path": str(directory), "kernels": count, "bytes": size,
+            "signatures": signatures, "toolchain": current,
+            "stale": stale}
+
+
+def kernel_cache_gc(root: Optional[Path] = None) -> Dict[str, int]:
+    """Drop kernels whose toolchain signature no longer matches.
+
+    Without a discoverable toolchain nothing is deleted — there is no
+    "current" signature to compare against.
+    """
+    directory = kernels_dir(root)
+    tc = find_toolchain()
+    removed = 0
+    kept = 0
+    reclaimed = 0
+    if tc is None or not directory.is_dir():
+        report = kernel_cache_report(root)
+        return {"removed": 0, "kept": int(report["kernels"]),
+                "reclaimed_bytes": 0}
+    from ..storage.local import exclusive_lock
+    for so in sorted(directory.glob("*.so")):
+        if ".tmp." in so.name:
+            continue
+        sig = None
+        try:
+            sig = json.loads(so.with_suffix(".json").read_text()
+                             ).get("signature")
+        except (OSError, ValueError):
+            pass
+        if sig == tc.signature:
+            kept += 1
+            continue
+        with exclusive_lock(so.with_suffix(".lock")):
+            for suffix in (".so", ".c", ".json"):
+                path = so.with_suffix(suffix)
+                try:
+                    reclaimed += path.stat().st_size
+                    path.unlink()
+                except OSError:
+                    pass
+        try:
+            so.with_suffix(".lock").unlink()
+        except OSError:
+            pass
+        removed += 1
+    return {"removed": removed, "kept": kept,
+            "reclaimed_bytes": reclaimed}
+
+
+# ----------------------------------------------------------------------
+# execution context
+# ----------------------------------------------------------------------
+def _c_ready(arr: Optional[np.ndarray]) -> bool:
+    return (arr is not None and arr.dtype == np.float64
+            and arr.flags["C_CONTIGUOUS"])
+
+
+def _ptr(arr: np.ndarray) -> ctypes.c_void_p:
+    return ctypes.c_void_p(arr.ctypes.data)
+
+
+class NativeContext:
+    """Compiled kernels for one program, driven by the vectorized loop."""
+
+    def __init__(self, program: Program, module: KernelModule,
+                 lib: Optional[ctypes.CDLL]) -> None:
+        self.program = program
+        self.module = module
+        self.kernels: Dict[int, Tuple[object, StatementKernel]] = {}
+        self.whole = None
+        if lib is not None:
+            for spec in module.statements:
+                fn = getattr(lib, spec.func)
+                fn.restype = None
+                self.kernels[spec.si] = (fn, spec)
+            if module.has_whole:
+                self.whole = getattr(lib, "run")
+                self.whole.restype = None
+
+    # -- whole-nest path ------------------------------------------------
+    def try_whole(self, program: Program, params: Mapping[str, int],
+                  storage: Mapping[str, np.ndarray], states,
+                  coverage) -> Optional[int]:
+        """Run the entire program as one compiled nest, or refuse.
+
+        Preconditions checked here (not at emit time): every statement
+        state is clean — guards evaluated, every executed write/read
+        proven in bounds — and every referenced array is a C-contiguous
+        float64 of exactly its declared shape, so C pointer arithmetic
+        agrees with the row-major linearization the driver validated.
+        """
+        if self.whole is None:
+            return None
+        for state in states:
+            if state.dirty:
+                return None
+        arrays: List[np.ndarray] = []
+        for decl in self.program.arrays:
+            arr = storage.get(decl.name)
+            if arr is None or not _c_ready(arr):
+                return None
+            if arr.shape != decl.shape(params):
+                return None
+            arrays.append(arr)
+        pvec = np.asarray(
+            [int(params[name]) for name in self.module.param_names
+             if name in params], dtype=np.int64)
+        if len(pvec) != len(self.module.param_names):
+            return None
+        aptrs = (ctypes.c_void_p * len(arrays))(
+            *[arr.ctypes.data for arr in arrays])
+        self.whole(_ptr(pvec) if len(pvec) else
+                   ctypes.c_void_p(None), aptrs)
+        executed = 0
+        for state in states:
+            if coverage is not None and state.pending:
+                _record_pending(state, coverage, 0, len(state.points),
+                                len(state.epos))
+            executed += len(state.epos)
+        return executed
+
+    # -- span path ------------------------------------------------------
+    def run_span(self, si: int, state, ea: int, eb: int,
+                 storage: Mapping[str, np.ndarray],
+                 params: Mapping[str, int]) -> Optional[int]:
+        """Execute executed-instance span ``[ea, eb)`` of statement ``si``.
+
+        The span is a run of consecutive instances in global schedule
+        order; the kernel walks it sequentially, so results match the
+        reference interpreter exactly — including loop-carried
+        dependences within the run.
+        """
+        entry = self.kernels.get(si)
+        if entry is None:
+            return None
+        prep = state.native_prep
+        if prep is None:
+            prep = self._prepare_span(state, entry[1], storage, params)
+            state.native_prep = prep
+        if prep is False:
+            return None
+        fn = entry[0]
+        fn(ctypes.c_longlong(ea), ctypes.c_longlong(eb), *prep[0])
+        return int(eb - ea)
+
+    def _prepare_span(self, state, spec: StatementKernel, storage,
+                      params):
+        """Precompute the kernel's argument columns for this execute.
+
+        Everything address-shaped is computed in NumPy — linear write
+        indices (already validated in bounds by the driver), linear read
+        indices per RHS reference, and float64 columns for inline
+        iterator expressions — so the C side does zero index arithmetic.
+        Returns ``False`` (cached) when the storage layout disqualifies
+        the statement; the vectorized path then covers it.
+        """
+        try:
+            warr = storage[spec.write_array]
+            if not _c_ready(warr):
+                return False
+            wlin = np.ascontiguousarray(state.wlin)
+            args: List[object] = [_ptr(wlin), _ptr(warr)]
+            keep: List[object] = [wlin, warr]
+            for k, name in enumerate(spec.read_arrays):
+                rarr = storage[name]
+                if not _c_ready(rarr):
+                    return False
+                rlin = np.ascontiguousarray(
+                    _linear(state.rcols[k], rarr.shape))
+                args.append(_ptr(rlin))
+                args.append(_ptr(rarr))
+                keep.append(rlin)
+                keep.append(rarr)
+            length = len(state.epos)
+            for aff in spec.iter_affines:
+                col = np.ascontiguousarray(
+                    affine_column(aff, state.cols, params,
+                                  length).astype(np.float64))
+                args.append(_ptr(col))
+                keep.append(col)
+            return (tuple(args), keep)
+        except Exception:
+            return False
+
+
+def _clear_caches() -> None:
+    """Test hook: forget loaded libraries and contexts (not the disk).
+
+    Also abandons the ``REPRO_NO_CACHE`` scratch directory, so builds
+    that bypassed the persistent cache are forgotten too — without
+    this, a kernel compiled under ``REPRO_NO_CACHE`` earlier in the
+    process would satisfy a later "must compile" expectation.
+    """
+    global _TMPDIR
+    _MODULE_CACHE.clear()
+    _CONTEXT_CACHE.clear()
+    if _TMPDIR is not None:
+        shutil.rmtree(_TMPDIR, ignore_errors=True)
+        _TMPDIR = None
+
+
+def native_context(program: Program) -> Optional[NativeContext]:
+    """Build (or recall) the compiled context for ``program``.
+
+    Returns ``None`` — after a single warning — when no toolchain is
+    discovered, and on compile failure; the caller then runs the plain
+    vectorized path, which is bit-identical by contract.
+    """
+    toolchain = find_toolchain()
+    if toolchain is None:
+        _warn_unavailable()
+        return None
+    key = (program.fingerprint(), toolchain.signature)
+    if key in _CONTEXT_CACHE:
+        return _CONTEXT_CACHE[key]
+    if len(_CONTEXT_CACHE) > 512:
+        _CONTEXT_CACHE.clear()
+    module = emit_module(program)
+    context: Optional[NativeContext] = None
+    if module.statements or module.has_whole:
+        try:
+            lib = load_module(module.source, toolchain)
+            context = NativeContext(program, module, lib)
+        except NativeCompileError as exc:
+            warnings.warn(
+                f"REPRO_ENGINE=native: kernel build failed for "
+                f"{program.name} ({exc}); using the vectorized engine "
+                "for this program", RuntimeWarning, stacklevel=3)
+            context = None
+    _CONTEXT_CACHE[key] = context
+    return context

@@ -1,11 +1,17 @@
-"""Property-based equivalence: vectorized engine vs reference interpreter.
+"""Property-based equivalence: optimized engines vs reference interpreter.
 
-The vectorized block executor must be *bit-identical* to the reference
-tree-walking interpreter — outputs, checksum, executed-instance count,
+The vectorized block executor — and the native compiled-kernel tier
+layered on top of it — must be *bit-identical* to the reference
+tree-walking interpreter: outputs, checksum, executed-instance count,
 branch-coverage ratio, and the exact exception class on failures.  These
 properties pin that contract across synthesized programs, schedule
 rewrites (legal and illegal), compound assignments, guards, and
 out-of-bounds / budget-exhausted candidates.
+
+Every property here runs against *each* optimized engine: always
+``vectorized``, plus ``native`` whenever a C toolchain is discovered
+(without one the native tier is exercised separately as a fallback in
+``test_native_kernels.py``).
 """
 
 import os
@@ -19,11 +25,21 @@ from repro.ir import parse_scop
 from repro.runtime import (BranchCoverage, allocate, checksum,
                            clone_storage, engine_override, execute)
 from repro.runtime.interpreter import engine_name
+from repro.runtime.native import find_toolchain
 from repro.synthesis.generator import ExampleSynthesizer
 from repro.transforms import TransformError, interchange, skew, tile
 
 _SETTINGS = dict(deadline=None,
                  suppress_health_check=[HealthCheck.too_slow])
+
+#: the engines pinned against the reference specification
+OPTIMIZED_ENGINES = ["vectorized"]
+if find_toolchain() is not None:
+    OPTIMIZED_ENGINES.append("native")
+
+needs_toolchain = pytest.mark.skipif(
+    find_toolchain() is None,
+    reason="no C toolchain discovered (REPRO_CC/cc/gcc/clang)")
 
 
 def observe(program, params, budget=2_000_000, variant=0):
@@ -43,20 +59,22 @@ def observe(program, params, budget=2_000_000, variant=0):
 def assert_engines_agree(program, params, budget=2_000_000, variant=0):
     with engine_override("reference"):
         ref = observe(program, params, budget, variant)
-    with engine_override("vectorized"):
-        vec = observe(program, params, budget, variant)
-    assert ref[0] == vec[0], (ref, vec)
-    if ref[0] == "error":
-        assert ref == vec  # same exception class, same coverage
-        return
-    assert ref[1] == vec[1], "executed-instance counts differ"
-    assert ref[2] == vec[2], "checksums differ"
-    assert ref[3] == vec[3], "coverage ratios differ"
-    for name, want in ref[4].items():
-        got = vec[4][name]
-        assert got.shape == want.shape
-        assert np.array_equal(want, got, equal_nan=True), \
-            f"output {name} differs"
+    for engine in OPTIMIZED_ENGINES:
+        with engine_override(engine):
+            got = observe(program, params, budget, variant)
+        assert ref[0] == got[0], (engine, ref, got)
+        if ref[0] == "error":
+            assert ref == got, engine  # same exception class + coverage
+            continue
+        assert ref[1] == got[1], \
+            f"{engine}: executed-instance counts differ"
+        assert ref[2] == got[2], f"{engine}: checksums differ"
+        assert ref[3] == got[3], f"{engine}: coverage ratios differ"
+        for name, want in ref[4].items():
+            out = got[4][name]
+            assert out.shape == want.shape
+            assert np.array_equal(want, out, equal_nan=True), \
+                f"{engine}: output {name} differs"
 
 
 class TestSynthesizedPrograms:
@@ -241,14 +259,15 @@ class TestEngineSelection:
         """
         program = parse_scop(src)
         messages = {}
-        for engine in ("reference", "vectorized"):
+        for engine in ["reference"] + OPTIMIZED_ENGINES:
             with engine_override(engine):
                 storage = allocate(program, {"N": 5})
                 try:
                     execute(program, {"N": 5}, storage)
                 except Exception as exc:
                     messages[engine] = (type(exc).__name__, str(exc))
-        assert messages["reference"] == messages["vectorized"]
+        for engine in OPTIMIZED_ENGINES:
+            assert messages["reference"] == messages[engine]
 
     def test_partial_writes_before_error_match(self):
         """An OOB mid-stream leaves identical partial state behind."""
@@ -264,7 +283,7 @@ class TestEngineSelection:
         """
         program = parse_scop(src)
         states = {}
-        for engine in ("reference", "vectorized"):
+        for engine in ["reference"] + OPTIMIZED_ENGINES:
             with engine_override(engine):
                 storage = allocate(program, {"N": 6})
                 try:
@@ -272,6 +291,21 @@ class TestEngineSelection:
                 except Exception:
                     pass
                 states[engine] = clone_storage(storage)
-        for name in states["reference"]:
-            assert np.array_equal(states["reference"][name],
-                                  states["vectorized"][name])
+        for engine in OPTIMIZED_ENGINES:
+            for name in states["reference"]:
+                assert np.array_equal(states["reference"][name],
+                                      states[engine][name]), engine
+
+    @needs_toolchain
+    def test_native_engine_selectable(self):
+        """``REPRO_ENGINE=native`` is a first-class registry entry."""
+        with engine_override("native"):
+            assert engine_name() == "native"
+            program = parse_scop(GEMM)
+            params = {"NI": 6, "NJ": 5, "NK": 4}
+            native_storage = allocate(program, params, 1)
+            execute(program, params, native_storage)
+        with engine_override("reference"):
+            ref_storage = allocate(program, params, 1)
+            execute(program, params, ref_storage)
+        assert np.array_equal(native_storage["C"], ref_storage["C"])

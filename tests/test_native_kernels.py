@@ -1,0 +1,308 @@
+"""The native compiled-kernel tier: cache, toolchain, fallback ladder.
+
+Covers the parts of ``REPRO_ENGINE=native`` the equivalence suite does
+not reach: on-disk kernel cache behaviour (key stability, cross-process
+sharing under a compile race, corrupt-``.so`` recovery,
+``REPRO_NO_CACHE``), the per-statement refusal-and-fallback list, the
+no-toolchain degradation warning, and the cache hygiene surfaced through
+``repro store``.
+"""
+
+import ctypes
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.codegen.ckernel import emit_module
+from repro.ir import parse_scop
+from repro.runtime import allocate, checksum, engine_override, execute
+from repro.runtime import native
+from repro.runtime.native import (find_toolchain, kernel_cache_gc,
+                                  kernel_cache_key, kernel_cache_report,
+                                  kernel_stats, native_context)
+
+needs_toolchain = pytest.mark.skipif(
+    find_toolchain() is None,
+    reason="no C toolchain discovered (REPRO_CC/cc/gcc/clang)")
+
+GEMM = """
+scop gemm(NI, NJ, NK) {
+  scalars alpha=1.5 beta=1.2;
+  array C[NI][NJ] output;
+  array A[NI][NK];
+  array B[NK][NJ];
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NJ; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < NK; k++)
+      for (j = 0; j < NJ; j++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+  }
+}
+"""
+
+RECURRENCE = """
+scop rec(N) {
+  array X[N] output;
+  for (i = 1; i < N; i++)
+    X[i] = X[i-1] * 1.01 + 0.25;
+}
+"""
+
+
+#: runs GEMM under the native engine and prints the checksum — used by
+#: the subprocess-based cache tests (compile race, corrupt recovery)
+_RUN_SNIPPET = (
+    "import numpy as np\n"
+    "from repro.ir import parse_scop\n"
+    "from repro.runtime import allocate, checksum, execute\n"
+    "from repro.runtime import engine_override\n"
+    f"prog = parse_scop({GEMM!r})\n"
+    "params = {'NI': 8, 'NJ': 7, 'NK': 6}\n"
+    "with engine_override('native'):\n"
+    "    st = allocate(prog, params, 2)\n"
+    "    execute(prog, params, st)\n"
+    "print(repr(checksum(st, prog.outputs)))\n")
+
+
+@pytest.fixture
+def kernel_cache(tmp_path, monkeypatch):
+    """A fresh kernel cache dir, with in-process caches forgotten."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    native._clear_caches()
+    yield tmp_path
+    native._clear_caches()
+
+
+def run_engine(program, params, engine, variant=0):
+    with engine_override(engine):
+        storage = allocate(program, params, variant)
+        execute(program, params, storage)
+    return {name: storage[name].copy() for name in program.outputs}
+
+
+class TestEmission:
+    def test_cache_key_is_stable(self):
+        program = parse_scop(GEMM)
+        first = emit_module(program)
+        second = emit_module(parse_scop(GEMM))
+        assert first.source == second.source
+        tc = find_toolchain()
+        if tc is not None:
+            assert (kernel_cache_key(first.source, tc)
+                    == kernel_cache_key(second.source, tc))
+
+    def test_refusal_list_matches_vector_policy(self):
+        # exp has no last-ulp-exact C lowering; the statement must be
+        # refused with a reason, exactly like the NumPy vector path
+        src = """
+        scop funcs(N) {
+          array A[N] output;
+          array B[N];
+          for (i = 0; i < N; i++)
+            A[i] = exp(B[i]) + 1.0;
+        }
+        """
+        module = emit_module(parse_scop(src))
+        assert module.statements == ()
+        assert not module.has_whole
+        assert len(module.refusals) == 1
+        assert "exp" in module.refusals[0][1]
+
+    def test_rank_mismatch_refused(self):
+        src = """
+        scop rank(N) {
+          array A[N][N] output;
+          array B[N];
+          for (i = 0; i < N; i++)
+            A[i][i] = B[i][i] + 1.0;
+        }
+        """
+        module = emit_module(parse_scop(src))
+        assert module.statements == ()
+        assert any("rank" in reason for _, reason in module.refusals)
+
+    def test_mixed_program_keeps_lowering_what_it_can(self):
+        src = """
+        scop mixed(N) {
+          array A[N] output;
+          array B[N] output;
+          for (i = 0; i < N; i++) {
+            A[i] = sqrt(B[i]) * 2.0;
+            B[i] = exp(A[i]);
+          }
+        }
+        """
+        module = emit_module(parse_scop(src))
+        assert len(module.statements) == 1
+        assert len(module.refusals) == 1
+        assert not module.has_whole  # whole-nest needs every statement
+
+    def test_tiled_schedule_refuses_whole_nest_only(self):
+        from repro.transforms import tile
+
+        program = tile(parse_scop(GEMM), [1], 4)
+        module = emit_module(program)
+        assert not module.has_whole
+        assert len(module.statements) == 2  # span kernels still emitted
+
+
+@needs_toolchain
+class TestKernelCache:
+    def test_disk_cache_shared_and_hit(self, kernel_cache):
+        program = parse_scop(GEMM)
+        params = {"NI": 6, "NJ": 7, "NK": 5}
+        before = kernel_stats()
+        ref = run_engine(program, params, "reference", 1)
+        got = run_engine(program, params, "native", 1)
+        assert np.array_equal(ref["C"], got["C"])
+        after = kernel_stats()
+        assert after["compiles"] == before["compiles"] + 1
+        sos = list((kernel_cache / "kernels").glob("*.so"))
+        assert len(sos) == 1
+        # a fresh in-process cache (a restarted worker) loads from disk
+        native._clear_caches()
+        before = kernel_stats()
+        got = run_engine(program, params, "native", 1)
+        assert np.array_equal(ref["C"], got["C"])
+        after = kernel_stats()
+        assert after["compiles"] == before["compiles"]
+        assert after["disk_hits"] == before["disk_hits"] + 1
+
+    def test_concurrent_processes_share_one_so(self, kernel_cache):
+        env = dict(os.environ,
+                   PYTHONPATH="src",
+                   REPRO_CACHE_DIR=str(kernel_cache))
+        env.pop("REPRO_NO_CACHE", None)
+        procs = [subprocess.Popen([sys.executable, "-c", _RUN_SNIPPET],
+                                  stdout=subprocess.PIPE, env=env,
+                                  cwd=str(Path(__file__).parent.parent))
+                 for _ in range(2)]
+        outputs = [p.communicate(timeout=120)[0] for p in procs]
+        assert all(p.returncode == 0 for p in procs)
+        assert outputs[0] == outputs[1]
+        sos = list((kernel_cache / "kernels").glob("*.so"))
+        assert len(sos) == 1, "racing processes must share one install"
+        assert not list((kernel_cache / "kernels").glob("*.tmp.*"))
+
+    def test_corrupt_so_recovered(self, kernel_cache):
+        # a crashed writer leaves a truncated install behind; the next
+        # *process* to come along must evict and rebuild it.  (In-place
+        # corruption of a library already dlopen'd by this process is
+        # not a real scenario — installs always go through rename, so a
+        # loaded .so's inode is immutable.)
+        env = dict(os.environ,
+                   PYTHONPATH="src",
+                   REPRO_CACHE_DIR=str(kernel_cache))
+        env.pop("REPRO_NO_CACHE", None)
+        cwd = str(Path(__file__).parent.parent)
+        first = subprocess.run([sys.executable, "-c", _RUN_SNIPPET],
+                               capture_output=True, env=env, cwd=cwd,
+                               timeout=120)
+        assert first.returncode == 0, first.stderr
+        [so] = (kernel_cache / "kernels").glob("*.so")
+        so.write_bytes(b"\x7fELF-not-really")
+        second = subprocess.run([sys.executable, "-c", _RUN_SNIPPET],
+                                capture_output=True, env=env, cwd=cwd,
+                                timeout=120)
+        assert second.returncode == 0, second.stderr
+        assert first.stdout == second.stdout
+        ctypes.CDLL(str(so))  # the rebuilt install is loadable again
+
+    def test_no_cache_env_compiles_to_tempdir(self, kernel_cache,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        program = parse_scop(RECURRENCE)
+        params = {"N": 40}
+        ref = run_engine(program, params, "reference")
+        before = kernel_stats()
+        got = run_engine(program, params, "native")
+        after = kernel_stats()
+        assert np.array_equal(ref["X"], got["X"])
+        assert after["compiles"] == before["compiles"] + 1
+        assert not (kernel_cache / "kernels").exists()
+
+    def test_recurrence_runs_on_native_span_kernel(self, kernel_cache):
+        # the sequential C walk handles the loop-carried dependence the
+        # NumPy block executor must demote to per-instance Python steps
+        program = parse_scop(RECURRENCE)
+        params = {"N": 300}
+        ref = run_engine(program, params, "reference")
+        got = run_engine(program, params, "native")
+        assert np.array_equal(ref["X"], got["X"])
+
+
+@needs_toolchain
+class TestCacheHygiene:
+    def test_store_report_counts_kernels(self, kernel_cache):
+        program = parse_scop(GEMM)
+        run_engine(program, {"NI": 4, "NJ": 4, "NK": 4}, "native")
+        report = kernel_cache_report()
+        assert report["kernels"] == 1
+        assert report["bytes"] > 0
+        tc = find_toolchain()
+        assert report["toolchain"] == tc.signature
+        assert report["signatures"] == {tc.signature: 1}
+        assert report["stale"] == 0
+
+    def test_gc_drops_stale_toolchain_kernels(self, kernel_cache):
+        program = parse_scop(GEMM)
+        run_engine(program, {"NI": 4, "NJ": 4, "NK": 4}, "native")
+        kernels = kernel_cache / "kernels"
+        [meta] = kernels.glob("*.json")
+        # forge a kernel left behind by an older compiler
+        stale_key = "0" * 32
+        (kernels / f"{stale_key}.so").write_bytes(b"old")
+        (kernels / f"{stale_key}.c").write_text("/* old */")
+        (kernels / f"{stale_key}.json").write_text(
+            json.dumps({"signature": "deadbeefdeadbeef"}))
+        report = kernel_cache_report()
+        assert report["kernels"] == 2
+        assert report["stale"] == 1
+        result = kernel_cache_gc()
+        assert result == {"removed": 1, "kept": 1,
+                          "reclaimed_bytes": result["reclaimed_bytes"]}
+        assert result["reclaimed_bytes"] > 0
+        assert not (kernels / f"{stale_key}.so").exists()
+        assert meta.exists()
+        # the surviving kernel still loads and runs
+        native._clear_caches()
+        before = kernel_stats()
+        run_engine(program, {"NI": 4, "NJ": 4, "NK": 4}, "native")
+        after = kernel_stats()
+        assert after["compiles"] == before["compiles"]
+
+
+class TestDegradation:
+    def test_missing_toolchain_warns_once_and_falls_back(
+            self, kernel_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_CC", "/nonexistent/cc")
+        native._WARNED.discard("/nonexistent/cc")
+        native._TOOLCHAIN_CACHE.pop("/nonexistent/cc", None)
+        program = parse_scop(GEMM)
+        params = {"NI": 5, "NJ": 6, "NK": 4}
+        ref = run_engine(program, params, "reference")
+        with pytest.warns(RuntimeWarning, match="no usable C toolchain"):
+            with engine_override("native"):
+                storage = allocate(program, params, 0)
+                execute(program, params, storage)
+        assert np.array_equal(ref["C"], storage["C"])
+        # the warning fires once per override value, not per execute
+        import warnings as _w
+        with _w.catch_warnings():
+            _w.simplefilter("error")
+            got = run_engine(program, params, "native")
+        assert np.array_equal(ref["C"], got["C"])
+        assert not (kernel_cache / "kernels").exists()
+
+    def test_explicit_override_never_substitutes_probed_cc(
+            self, monkeypatch):
+        monkeypatch.setenv("REPRO_CC", "/nonexistent/cc")
+        native._TOOLCHAIN_CACHE.pop("/nonexistent/cc", None)
+        assert find_toolchain() is None
