@@ -16,14 +16,19 @@ test-quick:
 
 # artifact-store contract: backend conformance + spec-equivalence
 # properties + concurrency/crash-recovery stress, with enough workers
-# to make append races real.  REPRO_STORE_BACKEND selects the backend
-# the harness-level tests exercise (conformance always runs them all).
+# to make append races real, then checksums/scrub/repair and the
+# bit-rot property, then the subprocess smoke that corrupts a live
+# store and proves verify/--repair restore byte-identical warm hits.
+# REPRO_STORE_BACKEND selects the backend the harness-level tests and
+# the smoke exercise (conformance always runs them all).
 test-store:
 	REPRO_JOBS=$(JOBS) $(PYTHON) -m pytest -x -q \
 	    tests/test_artifact_store_conformance.py \
 	    tests/test_storage_property.py \
+	    tests/test_storage_integrity.py \
 	    tests/test_store_parallel.py \
 	    tests/test_dataset_cache.py
+	$(PYTHON) scripts/store_scrub_smoke.py
 
 # the service daemon and its robustness machinery: cancellation,
 # retry/breaker resilience, fault injection, admission, drain — then

@@ -735,6 +735,8 @@ def cmd_store_stats(args: argparse.Namespace) -> int:
     from .evaluation.store import cache_dir
     from .runtime.native import kernel_cache_report
 
+    from .storage import INTEGRITY
+
     store = _store_for_maintenance(args)
     artifacts = store.artifacts()
     streams = artifacts.streams()
@@ -745,6 +747,7 @@ def cmd_store_stats(args: argparse.Namespace) -> int:
         "streams": {name: artifacts.stream_stats(name).to_dict()
                     for name in streams},
         "kernels": kernels,
+        "integrity": INTEGRITY.snapshot(),
     }
     if args.format == "json":
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -752,13 +755,14 @@ def cmd_store_stats(args: argparse.Namespace) -> int:
     print(f"# store: {artifacts.describe()}")
     if streams:
         header = (f"{'stream':12s} {'entries':>8s} {'superseded':>11s} "
-                  f"{'tombstones':>11s} {'corrupt':>8s} {'shards':>7s} "
-                  f"{'bytes':>12s}")
+                  f"{'tombstones':>11s} {'corrupt':>8s} "
+                  f"{'mismatched':>11s} {'shards':>7s} {'bytes':>12s}")
         print(header)
         for name in streams:
             s = report["streams"][name]
             print(f"{name:12s} {s['entries']:8d} {s['superseded']:11d} "
                   f"{s['tombstones']:11d} {s['corrupt']:8d} "
+                  f"{s['mismatched']:11d} "
                   f"{s['shards']:7d} {s['bytes']:12d}")
     else:
         print("(empty)")
@@ -767,45 +771,140 @@ def cmd_store_stats(args: argparse.Namespace) -> int:
           f"({kernels['bytes']} bytes, {kernels['stale']} stale) "
           f"toolchain={kernels['toolchain'] or 'none'} "
           f"signatures=[{signatures}]")
+    integrity = report["integrity"]
+    if integrity:
+        cells = " ".join(f"{k}={v}" for k, v in integrity.items())
+        print(f"# integrity: {cells}")
     return 0
 
 
 def cmd_store_compact(args: argparse.Namespace) -> int:
     """Drop superseded/tombstoned/corrupt records from every stream."""
     import json
+    import os
 
     from pathlib import Path
 
     from .evaluation.store import cache_dir
     from .runtime.native import kernel_cache_gc
+    from .serve.journal import ENV_JOURNAL_KEEP, JOURNAL_STREAM
+    from .serve.journal import prune_finished
 
     store = _store_for_maintenance(args)
     artifacts = store.artifacts()
     streams = ([args.stream] if args.stream
                else list(artifacts.streams()))
-    reports = [artifacts.compact(name) for name in streams]
+    keep = args.journal_keep
+    if keep is None:
+        env_keep = os.environ.get(ENV_JOURNAL_KEEP)
+        keep = int(env_keep) if env_keep else None
+    retention = None
+    if keep is not None and JOURNAL_STREAM in streams:
+        # drop finished journal records beyond the newest `keep` before
+        # compaction so the freed lines are reclaimed in the same pass
+        retention = prune_finished(artifacts, keep)
+    compacted = []
+    for name in streams:
+        before = artifacts.stream_stats(name).bytes
+        report = artifacts.compact(name)
+        after = artifacts.stream_stats(name).bytes
+        doc = report.to_dict()
+        doc["bytes_before"] = before
+        doc["bytes_after"] = after
+        doc["reclaimed_bytes"] = max(0, before - after)
+        compacted.append((report, doc))
     # kernels compiled by a toolchain that no longer matches the current
     # compiler can never be loaded again under their cache key — GC them
     kernels = kernel_cache_gc(Path(args.cache_dir or cache_dir()))
     if args.format == "json":
-        print(json.dumps({"backend": artifacts.name,
-                          "root": artifacts.root,
-                          "compacted": [r.to_dict() for r in reports],
-                          "kernels": kernels},
-                         indent=2, sort_keys=True))
+        doc = {"backend": artifacts.name,
+               "root": artifacts.root,
+               "compacted": [d for _, d in compacted],
+               "kernels": kernels}
+        if retention is not None:
+            doc["journal_retention"] = retention
+        print(json.dumps(doc, indent=2, sort_keys=True))
         return 0
     print(f"# store: {artifacts.describe()}")
-    if not reports:
+    if not compacted:
         print("(empty)")
-    for report in reports:
+    for report, doc in compacted:
         print(f"{report.stream:12s} kept {report.kept:6d}   dropped "
               f"{report.dropped_superseded} superseded, "
               f"{report.dropped_tombstones} tombstones, "
-              f"{report.dropped_corrupt} corrupt")
+              f"{report.dropped_corrupt} corrupt, "
+              f"{report.dropped_mismatched} mismatched   "
+              f"reclaimed {doc['reclaimed_bytes']} bytes "
+              f"({doc['bytes_before']} -> {doc['bytes_after']})")
+    if retention is not None:
+        print(f"# journal: kept {retention['kept_finished']} finished "
+              f"(+{retention['unfinished']} unfinished), dropped "
+              f"{retention['dropped']} past --journal-keep {keep}")
     print(f"# kernels: kept {kernels['kept']}, removed "
           f"{kernels['removed']} stale-toolchain "
           f"({kernels['reclaimed_bytes']} bytes reclaimed)")
     return 0
+
+
+def cmd_store_verify(args: argparse.Namespace) -> int:
+    """fsck for the artifact plane: detect (and repair) corruption."""
+    import json
+
+    from pathlib import Path
+
+    from .evaluation.store import cache_dir
+    from .runtime.native import kernels_dir
+    from .storage import repair_store, verify_store
+
+    store = _store_for_maintenance(args)
+    artifacts = store.artifacts()
+    streams = ((args.stream,) if args.stream
+               else tuple(artifacts.streams()))
+    kernels_root = kernels_dir(Path(args.cache_dir or cache_dir()))
+    report = verify_store(artifacts, streams,
+                          kernels_root=kernels_root)
+    repair = None
+    if args.repair and not report.clean:
+        repair = repair_store(artifacts, streams,
+                              kernels_root=kernels_root)
+        # the verdict is the post-repair state
+        report = verify_store(artifacts, streams,
+                              kernels_root=kernels_root)
+    if args.format == "json":
+        doc = report.to_dict()
+        if repair is not None:
+            doc["repair"] = repair.to_dict()
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0 if report.clean else 1
+    _render_verify(report)
+    if repair is not None:
+        print(f"# repair: {repair.read_repairs} read-repairs, "
+              f"{repair.dropped} damaged lines dropped, "
+              f"{repair.kernels_removed} kernels evicted")
+    print(f"# verdict: {'clean' if report.clean else 'DAMAGED'} "
+          f"({report.flagged} issue(s))")
+    return 0 if report.clean else 1
+
+
+def _render_verify(report, indent: str = "") -> None:
+    print(f"{indent}# store: {report.backend}")
+    for stream in report.streams:
+        status = "ok" if stream.clean else "DAMAGED"
+        print(f"{indent}{stream.stream:12s} {status:8s} "
+              f"{stream.records} records ({stream.live} live, "
+              f"{stream.legacy} legacy), {stream.corrupt} corrupt, "
+              f"{stream.torn} torn, {stream.mismatched} mismatched")
+        for issue in stream.issues:
+            print(f"{indent}  ! {issue.render()}")
+    if not report.streams:
+        print(f"{indent}(no streams)")
+    if report.kernels is not None:
+        print(f"{indent}# kernels: {report.kernels['checked']} checked, "
+              f"{report.kernels['flagged']} flagged")
+        for issue in report.kernels.get("issues", []):
+            print(f"{indent}  ! {issue.render()}")
+    for replica in report.replicas:
+        _render_verify(replica, indent + "  ")
 
 
 def cmd_suites(args: argparse.Namespace) -> int:
@@ -1032,14 +1131,19 @@ def build_parser() -> argparse.ArgumentParser:
     per.set_defaults(func=cmd_perf)
 
     sto = sub.add_parser(
-        "store", help="artifact-store maintenance (stats, compaction)")
+        "store", help="artifact-store maintenance "
+                      "(stats, compaction, integrity)")
     stosub = sto.add_subparsers(dest="store_command", required=True)
+    store_help = {
+        "stats": "print per-stream store statistics",
+        "compact": "rewrite shards, dropping reclaimable lines",
+        "verify": "fsck: verify record checksums, shard framing and "
+                  "the kernel cache; --repair heals what it can",
+    }
     for name, func in (("stats", cmd_store_stats),
-                       ("compact", cmd_store_compact)):
-        part = stosub.add_parser(
-            name, help=(f"print per-stream store statistics"
-                        if name == "stats" else
-                        "rewrite shards, dropping reclaimable lines"))
+                       ("compact", cmd_store_compact),
+                       ("verify", cmd_store_verify)):
+        part = stosub.add_parser(name, help=store_help[name])
         part.add_argument("--cache-dir", metavar="DIR",
                           help="store location (default "
                                "REPRO_CACHE_DIR or .repro_cache/)")
@@ -1049,10 +1153,23 @@ def build_parser() -> argparse.ArgumentParser:
         part.add_argument("--format", default="table",
                           choices=("table", "json"),
                           help="output format (default: table)")
-        if name == "compact":
+        if name in ("compact", "verify"):
             part.add_argument("--stream", metavar="NAME",
-                              help="compact only this stream "
+                              help=f"{name} only this stream "
                                    "(default: every stream)")
+        if name == "compact":
+            part.add_argument("--journal-keep", type=int, metavar="N",
+                              default=None,
+                              help="drop finished journal records "
+                                   "beyond the newest N (default: "
+                                   "REPRO_JOURNAL_KEEP, else keep all; "
+                                   "admitted/started are never touched)")
+        if name == "verify":
+            part.add_argument("--repair", action="store_true",
+                              help="heal the damage: read-repair from "
+                                   "replicas (mirrored), compact "
+                                   "corrupt lines away, evict broken "
+                                   "kernels")
         part.set_defaults(func=func)
 
     ste = sub.add_parser("suites", help="list benchmark suites")

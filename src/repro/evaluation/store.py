@@ -274,7 +274,9 @@ _NON_RESULT_MODULES = (
     "storage/base.py",
     "storage/local.py",
     "storage/memory.py",
+    "storage/mirrored.py",
     "storage/registry.py",
+    "storage/scrub.py",
 )
 
 _CODE_SIGNATURE: Optional[str] = None

@@ -273,6 +273,8 @@ def load_module(source: str, toolchain: Toolchain) -> ctypes.CDLL:
                 try:
                     tmp_src.write_text(source)
                     _compile(toolchain, tmp_src, tmp_so)
+                    so_sha = hashlib.sha256(
+                        tmp_so.read_bytes()).hexdigest()
                     os.replace(tmp_src, src_path)
                     os.replace(tmp_so, so_path)
                 finally:
@@ -284,7 +286,10 @@ def load_module(source: str, toolchain: Toolchain) -> ctypes.CDLL:
                 meta = {"signature": toolchain.signature,
                         "cc": toolchain.cc,
                         "version": toolchain.version,
-                        "flags": list(CFLAGS)}
+                        "flags": list(CFLAGS),
+                        # lets `repro store verify` detect bit-rot in
+                        # the installed binary itself
+                        "so_sha256": so_sha}
                 tmp_meta = root / f"{key}.{os.getpid()}.tmp.json"
                 tmp_meta.write_text(json.dumps(meta, sort_keys=True))
                 os.replace(tmp_meta, root / f"{key}.json")

@@ -13,8 +13,9 @@ docs/architecture.md ("Service daemon & resilience") for the design.
 from .admission import AdmissionController, Rejected
 from .config import ServeConfig
 from .daemon import BadRequest, ServeDaemon
-from .journal import (JOURNAL_STREAM, JournalUnavailable,
-                      RequestJournal, request_signature)
+from .journal import (ENV_JOURNAL_KEEP, JOURNAL_STREAM,
+                      JournalUnavailable, RequestJournal,
+                      prune_finished, request_signature)
 from .metrics import Metrics
 from .supervisor import (QuarantineRegistry, WorkerCrashed,
                          WorkerSupervisor)
@@ -22,7 +23,7 @@ from .supervisor import (QuarantineRegistry, WorkerCrashed,
 __all__ = [
     "AdmissionController", "Rejected", "ServeConfig", "BadRequest",
     "ServeDaemon", "Metrics",
-    "JOURNAL_STREAM", "JournalUnavailable", "RequestJournal",
-    "request_signature",
+    "ENV_JOURNAL_KEEP", "JOURNAL_STREAM", "JournalUnavailable",
+    "RequestJournal", "prune_finished", "request_signature",
     "QuarantineRegistry", "WorkerCrashed", "WorkerSupervisor",
 ]

@@ -179,6 +179,8 @@ class ServeDaemon:
         self.metrics.gauge("quarantined", lambda: self.quarantine.count)
         if self.supervisor is not None:
             self.metrics.gauge("workers", self.supervisor.describe)
+        from ..storage import INTEGRITY
+        self.metrics.gauge("integrity", INTEGRITY.snapshot)
 
     # ------------------------------------------------------------------
     # session pool
@@ -622,6 +624,20 @@ class ServeDaemon:
             return 0
         replayed = 0
         for signature, record in self.journal.unfinished():
+            if record is None:
+                # the journaled line failed its integrity check:
+                # replaying a corrupted body would execute the wrong
+                # request — refuse, mark it failed, keep recovering
+                self.journal.failed(signature, {
+                    "kind": "corrupt_record",
+                    "message": "journal record failed its crc check; "
+                               "refusing to replay (resubmit the "
+                               "request to re-run it)"})
+                self.metrics.inc("journal_corrupt_total")
+                logger.warning("recover: journal record %s is corrupt; "
+                               "marked failed, not replayed",
+                               signature[:12])
+                continue
             body = record.get("body") or {}
             try:
                 request = self.materialize_request(

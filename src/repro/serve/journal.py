@@ -48,6 +48,10 @@ JOURNAL_SCHEMA = 1
 #: unfinished ones --recover replays
 UNFINISHED = ("admitted", "started")
 
+#: retention for finished journal records (``repro store compact
+#: --journal-keep N`` falls back to this)
+ENV_JOURNAL_KEEP = "REPRO_JOURNAL_KEEP"
+
 
 class JournalUnavailable(RuntimeError):
     """Journaling requested on a store that cannot durably hold it."""
@@ -92,6 +96,7 @@ class RequestJournal:
                 f"anything; pass --no-journal to serve without one")
         self._store = store
         self._lock = threading.Lock()
+        self._seq: Optional[int] = None  # resolved on first transition
         store.open(JOURNAL_STREAM)
 
     # -- record access -------------------------------------------------
@@ -105,12 +110,21 @@ class RequestJournal:
             return record.get("result")
         return None
 
-    def unfinished(self) -> List[Tuple[str, Dict[str, Any]]]:
-        """(signature, record) for every admitted/started record."""
-        out = []
+    def unfinished(self) -> List[Tuple[str, Optional[Dict[str, Any]]]]:
+        """(signature, record) for every admitted/started record.
+
+        A signature whose record is listed but cannot be read back —
+        its stored line failed the crc check — is surfaced as
+        ``(signature, None)`` so recovery can refuse to replay it
+        (marking it failed with a diagnostic) instead of silently
+        skipping a request that *was* admitted.
+        """
+        out: List[Tuple[str, Optional[Dict[str, Any]]]] = []
         for key in self._store.list(JOURNAL_STREAM):
             record = self._store.read(JOURNAL_STREAM, key)
-            if record and record.get("status") in UNFINISHED:
+            if not isinstance(record, dict):
+                out.append((key, None))  # damaged journal record
+            elif record.get("status") in UNFINISHED:
                 out.append((key, record))
         return out
 
@@ -158,4 +172,61 @@ class RequestJournal:
             record = self.record(signature) or {
                 "schema": JOURNAL_SCHEMA, "attempts": 0}
             update(record)
+            record["seq"] = self._next_seq()
             self._store.append(JOURNAL_STREAM, signature, record)
+
+    def _next_seq(self) -> int:
+        """A monotonically increasing transition counter.
+
+        Journal records carry no wall-clock timestamp (byte-stability),
+        so retention orders finished records by ``seq``.  The counter
+        resumes from the highest stored value across daemon lifetimes.
+        """
+        if self._seq is None:
+            self._seq = _max_seq(self._store)
+        self._seq += 1
+        return self._seq
+
+
+def _max_seq(store: ArtifactStore) -> int:
+    highest = 0
+    for key in store.list(JOURNAL_STREAM):
+        record = store.read(JOURNAL_STREAM, key)
+        if isinstance(record, dict):
+            try:
+                highest = max(highest, int(record.get("seq", 0)))
+            except (TypeError, ValueError):
+                continue
+    return highest
+
+
+def prune_finished(store: ArtifactStore, keep: int) -> Dict[str, int]:
+    """Tombstone finished journal records beyond the newest ``keep``.
+
+    ``admitted``/``started`` records are never touched — they are what
+    ``--recover`` replays.  Damaged records (unreadable payloads) are
+    left for ``repro store verify`` to deal with.  Follow with a
+    compaction of the journal stream to reclaim the bytes.
+    """
+    keep = max(0, int(keep))
+    finished = []
+    unfinished = 0
+    for key in store.list(JOURNAL_STREAM):
+        record = store.read(JOURNAL_STREAM, key)
+        if not isinstance(record, dict):
+            continue
+        if record.get("status") in UNFINISHED:
+            unfinished += 1
+            continue
+        try:
+            seq = int(record.get("seq", 0))
+        except (TypeError, ValueError):
+            seq = 0
+        finished.append((seq, key))
+    finished.sort()
+    drop = finished[:max(0, len(finished) - keep)]
+    for _seq, key in drop:
+        store.delete(JOURNAL_STREAM, key)
+    return {"dropped": len(drop),
+            "kept_finished": len(finished) - len(drop),
+            "unfinished": unfinished}

@@ -16,20 +16,29 @@ clients of this package; ``repro store stats`` / ``repro store
 compact`` are the operational front end.
 """
 
-from .base import (STORAGE_SCHEMA, ArtifactStore, CompactionReport,
-                   StoreError, StreamStats)
+from .base import (INTEGRITY, STORAGE_SCHEMA, ArtifactStore,
+                   CompactionReport, StoreError, StreamStats,
+                   record_crc, record_crc_ok, verify_mode)
 from .local import (DEFAULT_SHARDS, LocalShardedStore, exclusive_lock,
                     shard_of)
 from .memory import InMemoryStore
+from .mirrored import ENV_STORE_MIRRORS, MirroredStore
 from .registry import (DEFAULT_BACKEND, ENV_STORE_BACKEND,
                        ENV_STORE_SHARDS, STORE_BACKENDS, backend_name,
                        open_store)
+from .scrub import (RepairReport, ScrubIssue, StreamScrubReport,
+                    VerifyReport, repair_store, scrub_kernels,
+                    verify_store)
 
 __all__ = [
     "ArtifactStore", "CompactionReport", "StoreError", "StreamStats",
-    "STORAGE_SCHEMA",
-    "LocalShardedStore", "InMemoryStore",
+    "STORAGE_SCHEMA", "INTEGRITY",
+    "record_crc", "record_crc_ok", "verify_mode",
+    "LocalShardedStore", "InMemoryStore", "MirroredStore",
     "DEFAULT_SHARDS", "exclusive_lock", "shard_of",
     "STORE_BACKENDS", "DEFAULT_BACKEND", "ENV_STORE_BACKEND",
-    "ENV_STORE_SHARDS", "backend_name", "open_store",
+    "ENV_STORE_SHARDS", "ENV_STORE_MIRRORS", "backend_name",
+    "open_store",
+    "ScrubIssue", "StreamScrubReport", "VerifyReport", "RepairReport",
+    "verify_store", "repair_store", "scrub_kernels",
 ]

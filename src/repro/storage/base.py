@@ -23,6 +23,10 @@ in-memory spec.
 from __future__ import annotations
 
 import abc
+import json
+import os
+import threading
+import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
@@ -30,6 +34,90 @@ from typing import Any, Dict, Optional, Tuple
 #: different version are treated as corrupt (skipped + counted) instead
 #: of mis-read
 STORAGE_SCHEMA = 1
+
+#: how aggressively readers check record checksums (see verify_mode())
+ENV_STORE_VERIFY = "REPRO_STORE_VERIFY"
+VERIFY_MODES = ("off", "read", "paranoid")
+
+
+def verify_mode() -> str:
+    """Checksum-verification mode for file-backed reads.
+
+    ``off``       never recompute crcs (fastest; corruption containment
+                  falls back to JSON/torn-line detection only).
+    ``read``      verify the record served by every ``read()`` and every
+                  record rewritten by compaction (the default).
+    ``paranoid``  additionally verify every line during index scans, so
+                  a damaged record is skipped before it can win
+                  last-write-wins ordering.
+    """
+    mode = os.environ.get(ENV_STORE_VERIFY, "read").strip().lower()
+    return mode if mode in VERIFY_MODES else "read"
+
+
+def record_crc(key: str, payload: Any = None,
+               tombstone: bool = False) -> int:
+    """crc32 of the canonical key+payload bytes of one record.
+
+    The checksum covers what the record *means* (key and payload after a
+    canonical JSON dump), not the stored line itself, so it survives
+    byte-identical compaction rewrites and stays recomputable from the
+    parsed record.  Tombstones checksum a fixed marker in place of the
+    payload.
+    """
+    body = b"tombstone" if tombstone else json.dumps(
+        payload, separators=(",", ":")).encode()
+    head = json.dumps(key, separators=(",", ":")).encode()
+    return zlib.crc32(head + b"\x00" + body) & 0xFFFFFFFF
+
+
+def record_crc_ok(record: Dict[str, Any]) -> bool:
+    """Does a decoded record's ``crc`` match its contents?
+
+    Records without a ``crc`` field are legacy (written before the
+    integrity envelope existed) and never fail verification.
+    """
+    stored = record.get("crc")
+    if stored is None:
+        return True
+    if not isinstance(stored, int):
+        return False
+    if record.get("tombstone"):
+        expected = record_crc(record.get("key", ""), tombstone=True)
+    else:
+        expected = record_crc(record.get("key", ""),
+                              record.get("payload"))
+    return stored == expected
+
+
+class IntegrityCounters:
+    """Process-wide integrity telemetry (thread-safe).
+
+    Exposed on ``repro store stats`` and as an ``integrity`` gauge on
+    the serve ``/metrics`` endpoint.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._counts.items()))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+
+#: shared by every store instance in the process: crc mismatches seen
+#: by readers, read-repairs performed by the mirrored backend, scrub
+#: runs/findings/repairs
+INTEGRITY = IntegrityCounters()
 
 
 class StoreError(Exception):
@@ -42,7 +130,9 @@ class StreamStats:
 
     ``superseded`` and ``tombstones`` measure reclaimable appends;
     ``corrupt`` counts undecodable or foreign lines skipped during the
-    scan.  All three drop to zero after :meth:`ArtifactStore.compact`.
+    scan; ``mismatched`` counts records whose stored crc failed
+    verification.  All of them drop to zero after
+    :meth:`ArtifactStore.compact`.
     """
 
     entries: int = 0
@@ -51,11 +141,13 @@ class StreamStats:
     corrupt: int = 0
     shards: int = 0
     bytes: int = 0
+    mismatched: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {"entries": self.entries, "superseded": self.superseded,
                 "tombstones": self.tombstones, "corrupt": self.corrupt,
-                "shards": self.shards, "bytes": self.bytes}
+                "shards": self.shards, "bytes": self.bytes,
+                "mismatched": self.mismatched}
 
 
 @dataclass(frozen=True)
@@ -67,17 +159,19 @@ class CompactionReport:
     dropped_superseded: int = 0
     dropped_tombstones: int = 0
     dropped_corrupt: int = 0
+    dropped_mismatched: int = 0
 
     @property
     def dropped(self) -> int:
         return (self.dropped_superseded + self.dropped_tombstones
-                + self.dropped_corrupt)
+                + self.dropped_corrupt + self.dropped_mismatched)
 
     def to_dict(self) -> Dict[str, Any]:
         return {"stream": self.stream, "kept": self.kept,
                 "dropped_superseded": self.dropped_superseded,
                 "dropped_tombstones": self.dropped_tombstones,
-                "dropped_corrupt": self.dropped_corrupt}
+                "dropped_corrupt": self.dropped_corrupt,
+                "dropped_mismatched": self.dropped_mismatched}
 
 
 class ArtifactStore(abc.ABC):

@@ -7,8 +7,11 @@ Layout (one directory per stream under the store root)::
     <root>/<stream>/shard-03.lock    # flock target (never replaced)
 
 Each record is one JSON line — ``{"schema": 1, "key": ..., "payload":
-...}`` for a put, ``{"schema": 1, "key": ..., "tombstone": true}`` for
-a delete.  A key always lands in the shard named by a prefix of its
+..., "crc": ...}`` for a put, ``{"schema": 1, "key": ...,
+"tombstone": true, "crc": ...}`` for a delete.  ``crc`` is the crc32
+integrity envelope from :func:`repro.storage.base.record_crc`; lines
+written before it existed simply lack the field and are accepted as
+legacy.  A key always lands in the shard named by a prefix of its
 SHA-256 digest (mod the stream's shard count, pinned in ``meta.json``
 so reconfigured stores keep finding old keys), which means last-write-
 wins ordering only ever needs the order *within* one file.
@@ -28,7 +31,10 @@ Safety model
 * **Corruption is contained.**  Undecodable lines, foreign schemas and
   torn tails (a final line with no newline — impossible under the
   atomic-append rule, so always a crash artifact) are skipped and
-  counted, never served.
+  counted, never served.  Records that parse but fail their crc are
+  counted as ``mismatched`` and reported missing rather than served
+  (``REPRO_STORE_VERIFY``: verify on every read by default, on every
+  scanned line under ``paranoid``, never under ``off``).
 * **Compaction repairs.**  :meth:`LocalShardedStore.compact` rewrites
   each shard under its lock via write-temp-then-rename, keeping only
   the winning put per live key (byte-identical lines) and dropping
@@ -46,11 +52,33 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from .base import (STORAGE_SCHEMA, ArtifactStore, CompactionReport,
-                   StoreError, StreamStats)
+from .base import (INTEGRITY, STORAGE_SCHEMA, ArtifactStore,
+                   CompactionReport, StoreError, StreamStats,
+                   record_crc, record_crc_ok, verify_mode)
 
 DEFAULT_SHARDS = 16
 META_FILE = "meta.json"
+
+#: default fault-injection site for appends; the mirrored backend
+#: overrides per replica (``store.append.0``, ``store.append.1``, ...)
+#: so a test can corrupt exactly one copy
+APPEND_FAULT_SITE = "store.append"
+
+_corrupt_bytes = None  # resolved lazily; see _apply_write_faults
+
+
+def _apply_write_faults(site: str, data: bytes) -> bytes:
+    """Run ``data`` through any scheduled store-write fault.
+
+    Imported lazily so the storage plane never drags the testing
+    package in at import time; with no active fault plan this is a
+    cached-attribute lookup and one function call.
+    """
+    global _corrupt_bytes
+    if _corrupt_bytes is None:
+        from ..testing.faults import corrupt_bytes
+        _corrupt_bytes = corrupt_bytes
+    return _corrupt_bytes(site, data)
 
 try:
     import fcntl
@@ -103,6 +131,7 @@ class _StreamState:
         self.superseded = 0
         self.tombstones = 0
         self.corrupt = 0
+        self.mismatched = 0
 
 
 class LocalShardedStore(ArtifactStore):
@@ -171,16 +200,44 @@ class LocalShardedStore(ArtifactStore):
     # -- scanning ------------------------------------------------------
     def _scan(self, stream: str) -> _StreamState:
         state = _StreamState(self._ensure_dir(stream))
+        self._gc_stale_tmps(stream)
+        verify = verify_mode() == "paranoid"
         for path in self.shard_paths(stream):
             try:
                 shard = int(path.stem.split("-", 1)[1], 16)
             except (IndexError, ValueError):
                 continue  # foreign file; never written by us
-            self._scan_shard(state, path, shard)
+            self._scan_shard(state, path, shard, verify)
         return state
 
+    def _gc_stale_tmps(self, stream: str) -> None:
+        """Reap compaction temp files orphaned by a crash.
+
+        A crash between write-temp and rename leaves
+        ``shard-XX.jsonl.tmp.<pid>`` behind forever.  Each orphan is
+        removed under its shard's lock: a live compactor holds that
+        lock across write+rename, so by the time we acquire it either
+        the rename happened (the temp is gone) or the temp really is
+        an orphan.
+        """
+        sdir = self.stream_dir(stream)
+        if not sdir.is_dir():
+            return
+        for tmp in sdir.glob("shard-*.jsonl.tmp.*"):
+            try:
+                shard = int(tmp.name.split("-", 1)[1].split(".", 1)[0],
+                            16)
+            except (IndexError, ValueError):
+                continue
+            with exclusive_lock(self._lock_path(stream, shard)):
+                if tmp.exists():
+                    try:
+                        tmp.unlink()
+                    except OSError:  # pragma: no cover - racing unlink
+                        pass
+
     def _scan_shard(self, state: _StreamState, path: Path,
-                    shard: int) -> None:
+                    shard: int, verify: bool = False) -> None:
         data = path.read_bytes()
         offset = 0
         total = len(data)
@@ -191,15 +248,22 @@ class LocalShardedStore(ArtifactStore):
                 break
             raw = data[offset:newline]
             length = newline + 1 - offset
-            self._scan_line(state, raw, shard, offset, length)
+            self._scan_line(state, raw, shard, offset, length, verify)
             offset = newline + 1
 
     def _scan_line(self, state: _StreamState, raw: bytes, shard: int,
-                   offset: int, length: int) -> None:
+                   offset: int, length: int,
+                   verify: bool = False) -> None:
         record = decode_record(raw)
         if record is None:
             if raw.strip():  # blank lines are noise, not corruption
                 state.corrupt += 1
+            return
+        if verify and not record_crc_ok(record):
+            # paranoid scans refuse to let a damaged record win
+            # last-write-wins ordering; an earlier valid put survives
+            state.mismatched += 1
+            INTEGRITY.inc("crc_mismatches")
             return
         key = record["key"]
         if record.get("tombstone"):
@@ -219,7 +283,8 @@ class LocalShardedStore(ArtifactStore):
 
     def append(self, stream: str, key: str, payload: Any) -> None:
         record = {"schema": STORAGE_SCHEMA, "key": key,
-                  "payload": payload}
+                  "payload": payload,
+                  "crc": record_crc(key, payload)}
         self._append_record(stream, key, record, live=True)
 
     def delete(self, stream: str, key: str) -> bool:
@@ -227,7 +292,8 @@ class LocalShardedStore(ArtifactStore):
             if key not in self._state(stream).index:
                 return False  # deleting a missing key appends nothing
             record = {"schema": STORAGE_SCHEMA, "key": key,
-                      "tombstone": True}
+                      "tombstone": True,
+                      "crc": record_crc(key, tombstone=True)}
             self._append_record(stream, key, record, live=False)
         return True
 
@@ -238,6 +304,11 @@ class LocalShardedStore(ArtifactStore):
         if b"\n" in data[:-1]:
             raise StoreError(f"payload for {key!r} encodes to multiple "
                              f"lines; not appendable")
+        # scheduled corruption faults (bitflip/truncate/garbage) hit the
+        # encoded line here, before it reaches the shard, so scrub and
+        # read-repair paths are exercised against real on-disk damage
+        data = _apply_write_faults(
+            getattr(self, "fault_site", APPEND_FAULT_SITE), data)
         with self._lock:
             state = self._state(stream)
             # the first append pins the shard count; later appends
@@ -283,6 +354,14 @@ class LocalShardedStore(ArtifactStore):
                 record = self._record_at(stream, loc)
                 if (record is not None and record["key"] == key
                         and not record.get("tombstone")):
+                    if (verify_mode() != "off"
+                            and not record_crc_ok(record)):
+                        # damaged payload: report the key missing and
+                        # count it rather than serve altered data
+                        state.mismatched += 1
+                        INTEGRITY.inc("crc_mismatches")
+                        state.index.pop(key, None)
+                        return None
                     return record["payload"]
                 # another process compacted this shard: offsets moved
                 self._states.pop(stream, None)
@@ -321,7 +400,8 @@ class LocalShardedStore(ArtifactStore):
         return tuple(sorted(found))
 
     def compact(self, stream: str) -> CompactionReport:
-        kept = superseded = tombstones = corrupt = 0
+        kept = superseded = tombstones = corrupt = mismatched = 0
+        verify = verify_mode() != "off"
         with self._lock:
             state = self._state(stream)
             for shard in range(state.shards):
@@ -329,26 +409,32 @@ class LocalShardedStore(ArtifactStore):
                 if not path.exists():
                     continue
                 with exclusive_lock(self._lock_path(stream, shard)):
-                    k, s, t, c = self._compact_shard(path)
+                    k, s, t, c, m = self._compact_shard(path, verify)
                 kept += k
                 superseded += s
                 tombstones += t
                 corrupt += c
+                mismatched += m
             self._states.pop(stream, None)  # offsets moved: rescan
             self._state(stream)
         return CompactionReport(stream=stream, kept=kept,
                                 dropped_superseded=superseded,
                                 dropped_tombstones=tombstones,
-                                dropped_corrupt=corrupt)
+                                dropped_corrupt=corrupt,
+                                dropped_mismatched=mismatched)
 
     @staticmethod
-    def _compact_shard(path: Path) -> Tuple[int, int, int, int]:
+    def _compact_shard(path: Path,
+                       verify: bool = True) -> Tuple[int, int, int,
+                                                     int, int]:
         """Rewrite one shard keeping only winning puts (byte-identical).
 
         Caller holds the shard lock.  Returns (kept, superseded,
-        tombstones, corrupt) line counts.
+        tombstones, corrupt, mismatched) line counts.  With ``verify``
+        a record whose crc fails is dropped like a corrupt line — an
+        earlier valid put for the same key survives the rewrite.
         """
-        superseded = tombstones = corrupt = 0
+        superseded = tombstones = corrupt = mismatched = 0
         live: "Dict[str, bytes]" = {}
         data = path.read_bytes()
         offset = 0
@@ -364,6 +450,9 @@ class LocalShardedStore(ArtifactStore):
                 if raw.strip():
                     corrupt += 1
                 continue
+            if verify and not record_crc_ok(record):
+                mismatched += 1  # damage compacted away, not kept
+                continue
             key = record["key"]
             if record.get("tombstone"):
                 if live.pop(key, None) is not None:
@@ -375,14 +464,14 @@ class LocalShardedStore(ArtifactStore):
             live[key] = raw  # re-insert: file keeps last-write order
         if not live:
             path.unlink()
-            return 0, superseded, tombstones, corrupt
+            return 0, superseded, tombstones, corrupt, mismatched
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         with open(tmp, "wb") as handle:
             handle.write(b"".join(raw + b"\n" for raw in live.values()))
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
-        return len(live), superseded, tombstones, corrupt
+        return len(live), superseded, tombstones, corrupt, mismatched
 
     def stream_stats(self, stream: str) -> StreamStats:
         with self._lock:
@@ -393,7 +482,8 @@ class LocalShardedStore(ArtifactStore):
                                superseded=state.superseded,
                                tombstones=state.tombstones,
                                corrupt=state.corrupt,
-                               shards=len(paths), bytes=size)
+                               shards=len(paths), bytes=size,
+                               mismatched=state.mismatched)
 
     def drop(self, stream: str) -> None:
         with self._lock:

@@ -1,0 +1,246 @@
+"""A replicated artifact store: N child backends with read-repair.
+
+``MirroredStore`` composes child backends from the same
+:data:`repro.storage.STORE_BACKENDS` registry (``REPRO_STORE_MIRRORS``
+names them, default ``local,local``), each rooted at
+``<root>/replica-<i>``.  Child 0 is the *primary*.
+
+Semantics
+---------
+* **Writes fan out.**  ``append``/``delete``/``compact``/``drop`` go to
+  every replica; a write is complete when all replicas took it.
+* **Reads verify and heal.**  ``read`` probes the primary first (child
+  backends already contain corruption: a record that fails its crc is
+  reported missing, see :mod:`repro.storage.local`).  When the primary
+  holds the key, its value wins — any replica whose copy is missing or
+  differs is *read-repaired* by re-appending the primary's value.  When
+  the primary lost the key (corruption, torn shard) but a replica still
+  holds a verified copy, the record is restored to the primary — and to
+  every other damaged replica — before being served.  Divergence is
+  therefore resolved checksum-first (a copy failing its crc never
+  competes), then last-write-wins with the primary as the ordering
+  authority.
+* **Observationally a single store.**  The mirrored backend runs
+  through the same conformance + hypothesis spec-equivalence suites as
+  every other backend; with no corruption its behaviour is
+  indistinguishable from its primary.
+
+Stats/compaction reports take entry accounting from the primary and sum
+damage counters (``corrupt``/``mismatched``) plus ``shards``/``bytes``
+across replicas, so one scrub report covers every copy.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .base import (INTEGRITY, ArtifactStore, CompactionReport,
+                   StreamStats)
+
+#: comma-separated child backend names (or a bare replica count, which
+#: means that many ``local`` children)
+ENV_STORE_MIRRORS = "REPRO_STORE_MIRRORS"
+DEFAULT_MIRRORS = "local,local"
+
+
+def mirror_spec(spec: Optional[str] = None) -> Tuple[str, ...]:
+    """Child backend names from ``spec`` / the environment."""
+    if spec is None:
+        spec = os.environ.get(ENV_STORE_MIRRORS, "") or DEFAULT_MIRRORS
+    spec = spec.strip()
+    if spec.isdigit():
+        count = int(spec)
+        if count < 2:
+            raise ValueError("a mirrored store needs >= 2 replicas, "
+                             f"got {count}")
+        return ("local",) * count
+    names = tuple(part.strip() for part in spec.split(",")
+                  if part.strip())
+    if len(names) < 2:
+        raise ValueError(f"bad {ENV_STORE_MIRRORS} spec {spec!r}: "
+                         f"need >= 2 child backends")
+    if "mirrored" in names:
+        raise ValueError("mirrored stores do not nest")
+    return names
+
+
+class MirroredStore(ArtifactStore):
+    """Replicated store with primary-wins read-repair (module doc)."""
+
+    name = "mirrored"
+    persistent = True
+    on_disk = True
+
+    def __init__(self, root: str,
+                 children: Optional[Sequence[ArtifactStore]] = None,
+                 spec: Optional[str] = None) -> None:
+        super().__init__(root)
+        if children is None:
+            from .registry import STORE_BACKENDS
+            children = [
+                STORE_BACKENDS.get(name_)(
+                    str(Path(root) / f"replica-{i}"))
+                for i, name_ in enumerate(mirror_spec(spec))]
+        self.children: List[ArtifactStore] = list(children)
+        if len(self.children) < 2:
+            raise ValueError("a mirrored store needs >= 2 replicas")
+        # capability flags reflect the weakest child: one volatile
+        # replica makes the whole mirror volatile
+        self.persistent = all(c.persistent for c in self.children)
+        self.on_disk = all(c.on_disk for c in self.children)
+        for i, child in enumerate(self.children):
+            # per-replica fault-injection site, so a test can corrupt
+            # exactly one copy (see repro.testing.faults)
+            child.fault_site = f"store.append.{i}"
+        self._lock = threading.RLock()
+        self.read_repairs = 0
+
+    @property
+    def primary(self) -> ArtifactStore:
+        return self.children[0]
+
+    # -- the stream contract -------------------------------------------
+    def open(self, stream: str) -> StreamStats:
+        with self._lock:
+            for child in self.children:
+                child.open(stream)
+        return self.stream_stats(stream)
+
+    def append(self, stream: str, key: str, payload: Any) -> None:
+        with self._lock:
+            for child in self.children:
+                child.append(stream, key, payload)
+
+    def delete(self, stream: str, key: str) -> bool:
+        with self._lock:
+            return any([child.delete(stream, key)
+                        for child in self.children])
+
+    @staticmethod
+    def _probe(child: ArtifactStore, stream: str,
+               key: str) -> Tuple[bool, Any]:
+        """(has a verified live copy, its value) for one replica.
+
+        ``read`` alone cannot distinguish a JSON-null payload from a
+        missing key, and a crc-failing record is only discovered *by*
+        the read (which then drops the key) — so liveness is re-checked
+        after the read.
+        """
+        if not child.contains(stream, key):
+            return False, None
+        value = child.read(stream, key)
+        if value is None and not child.contains(stream, key):
+            return False, None  # the read flagged a damaged record
+        return True, value
+
+    def read(self, stream: str, key: str) -> Optional[Any]:
+        with self._lock:
+            primary, *replicas = self.children
+            has, value = self._probe(primary, stream, key)
+            if has:
+                for child in replicas:
+                    child_has, child_value = self._probe(child, stream,
+                                                         key)
+                    if not child_has or child_value != value:
+                        child.append(stream, key, value)
+                        self._note_repair()
+                return value
+            # the primary lost this key: restore from the first replica
+            # that still holds a verified copy
+            for i, child in enumerate(replicas):
+                child_has, child_value = self._probe(child, stream, key)
+                if not child_has:
+                    continue
+                primary.append(stream, key, child_value)
+                self._note_repair()
+                for other in replicas[i + 1:]:
+                    other_has, other_value = self._probe(other, stream,
+                                                         key)
+                    if not other_has or other_value != child_value:
+                        other.append(stream, key, child_value)
+                        self._note_repair()
+                return child_value
+            return None
+
+    def _note_repair(self) -> None:
+        self.read_repairs += 1
+        INTEGRITY.inc("read_repairs")
+
+    def contains(self, stream: str, key: str) -> bool:
+        with self._lock:
+            return any(child.contains(stream, key)
+                       for child in self.children)
+
+    def list(self, stream: str) -> Tuple[str, ...]:
+        with self._lock:
+            keys = set()
+            for child in self.children:
+                keys.update(child.list(stream))
+            return tuple(sorted(keys))
+
+    def streams(self) -> Tuple[str, ...]:
+        with self._lock:
+            found = set()
+            for child in self.children:
+                found.update(child.streams())
+            return tuple(sorted(found))
+
+    def compact(self, stream: str) -> CompactionReport:
+        with self._lock:
+            reports = [child.compact(stream)
+                       for child in self.children]
+        head = reports[0]
+        return CompactionReport(
+            stream=stream, kept=head.kept,
+            dropped_superseded=head.dropped_superseded,
+            dropped_tombstones=head.dropped_tombstones,
+            dropped_corrupt=sum(r.dropped_corrupt for r in reports),
+            dropped_mismatched=sum(r.dropped_mismatched
+                                   for r in reports))
+
+    def stream_stats(self, stream: str) -> StreamStats:
+        with self._lock:
+            stats = [child.stream_stats(stream)
+                     for child in self.children]
+        head = stats[0]
+        return StreamStats(
+            entries=head.entries, superseded=head.superseded,
+            tombstones=head.tombstones,
+            corrupt=sum(s.corrupt for s in stats),
+            mismatched=sum(s.mismatched for s in stats),
+            shards=sum(s.shards for s in stats),
+            bytes=sum(s.bytes for s in stats))
+
+    def drop(self, stream: str) -> None:
+        with self._lock:
+            for child in self.children:
+                child.drop(stream)
+
+    def refresh(self, stream: str) -> None:
+        with self._lock:
+            for child in self.children:
+                child.refresh(stream)
+
+    # -- repair / conformance hooks ------------------------------------
+    def repair_stream(self, stream: str) -> int:
+        """Read-repair every key of ``stream`` across all replicas.
+
+        Returns the number of repairs performed; follow with
+        :meth:`compact` to purge the damaged lines themselves.
+        """
+        with self._lock:
+            before = self.read_repairs
+            for key in self.list(stream):
+                self.read(stream, key)
+            return self.read_repairs - before
+
+    def shard_paths(self, stream: str) -> List[Path]:
+        """The *primary's* shard files (conformance/corruption hooks)."""
+        return self.primary.shard_paths(stream)
+
+    def describe(self) -> str:
+        inner = ",".join(c.name for c in self.children)
+        return f"mirrored[{inner}]:{self.root}"

@@ -14,6 +14,9 @@ Environment switches
 ``REPRO_STORE_SHARDS``   shard count for the local backend (default 16;
                          pinned per stream in ``meta.json`` on first
                          create, so changing it later is safe)
+``REPRO_STORE_MIRRORS``  child backends for the mirrored backend
+                         (comma-separated names or a bare replica
+                         count; default ``local,local``)
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from ..registry import Registry
 from .base import ArtifactStore
 from .local import DEFAULT_SHARDS, LocalShardedStore
 from .memory import InMemoryStore
+from .mirrored import MirroredStore
 
 ENV_STORE_BACKEND = "REPRO_STORE_BACKEND"
 ENV_STORE_SHARDS = "REPRO_STORE_SHARDS"
@@ -42,6 +46,11 @@ def _local_backend(root: str) -> LocalShardedStore:
 @STORE_BACKENDS.register_as("memory")
 def _memory_backend(root: str) -> InMemoryStore:
     return InMemoryStore(root)
+
+
+@STORE_BACKENDS.register_as("mirrored")
+def _mirrored_backend(root: str) -> MirroredStore:
+    return MirroredStore(root)
 
 
 def backend_name() -> str:

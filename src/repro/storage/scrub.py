@@ -1,0 +1,385 @@
+"""The storage fsck: line-level verification and repair.
+
+``repro store verify`` drives :func:`verify_store` over every stream of
+the active backend (the serve journal is just another stream, so it is
+covered) plus :func:`scrub_kernels` over the compiled-kernel cache, and
+reports each damaged record with shard + byte-offset diagnostics.
+``--repair`` then drives :func:`repair_store`: for a local store,
+compaction rewrites every shard and the damage is dropped (an earlier
+valid put for the same key survives); for a mirrored store, every key
+is read-repaired from a healthy replica first, so damaged records are
+*restored*, not just purged.
+
+Unlike the read path, the scrubber always verifies checksums — it is an
+explicit integrity operation, so ``REPRO_STORE_VERIFY=off`` does not
+apply to detection (repair temporarily forces verification on so a
+compaction can never rewrite a record that fails its crc).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .base import (ENV_STORE_VERIFY, INTEGRITY, ArtifactStore,
+                   record_crc_ok, verify_mode)
+from .local import LocalShardedStore, decode_record, exclusive_lock
+from .mirrored import MirroredStore
+
+
+@dataclass(frozen=True)
+class ScrubIssue:
+    """One damaged record/file, pinpointed for the operator."""
+
+    stream: str
+    location: str          # shard or kernel file name
+    offset: Optional[int]  # byte offset of the damaged line, if any
+    kind: str              # corrupt | torn | mismatched | divergent | ...
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"stream": self.stream, "location": self.location,
+                "offset": self.offset, "kind": self.kind,
+                "detail": self.detail}
+
+    def render(self) -> str:
+        at = f" @{self.offset}" if self.offset is not None else ""
+        return (f"{self.stream}/{self.location}{at}: "
+                f"{self.kind} ({self.detail})")
+
+
+@dataclass
+class StreamScrubReport:
+    """Verification outcome for one stream."""
+
+    stream: str
+    records: int = 0     # decodable record lines seen
+    live: int = 0        # keys a reader would serve
+    legacy: int = 0      # valid records without a crc field
+    corrupt: int = 0
+    torn: int = 0
+    mismatched: int = 0
+    issues: List[ScrubIssue] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"stream": self.stream, "records": self.records,
+                "live": self.live, "legacy": self.legacy,
+                "corrupt": self.corrupt, "torn": self.torn,
+                "mismatched": self.mismatched,
+                "issues": [i.to_dict() for i in self.issues]}
+
+
+@dataclass
+class VerifyReport:
+    """Whole-store verification outcome (one level per replica)."""
+
+    backend: str
+    root: str
+    streams: List[StreamScrubReport] = field(default_factory=list)
+    kernels: Optional[Dict[str, Any]] = None
+    replicas: List["VerifyReport"] = field(default_factory=list)
+
+    def issues(self) -> Iterator[ScrubIssue]:
+        for report in self.streams:
+            yield from report.issues
+        if self.kernels:
+            yield from self.kernels.get("issues", [])
+        for replica in self.replicas:
+            yield from replica.issues()
+
+    @property
+    def flagged(self) -> int:
+        return sum(1 for _ in self.issues())
+
+    @property
+    def clean(self) -> bool:
+        return next(self.issues(), None) is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "backend": self.backend, "root": self.root,
+            "clean": self.clean, "flagged": self.flagged,
+            "streams": [s.to_dict() for s in self.streams]}
+        if self.kernels is not None:
+            kernels = dict(self.kernels)
+            kernels["issues"] = [i.to_dict()
+                                 for i in kernels.get("issues", [])]
+            doc["kernels"] = kernels
+        if self.replicas:
+            doc["replicas"] = [r.to_dict() for r in self.replicas]
+        return doc
+
+
+@dataclass
+class RepairReport:
+    """What one ``--repair`` pass restored and purged."""
+
+    read_repairs: int = 0
+    dropped: int = 0          # damaged lines compacted away
+    kernels_removed: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"read_repairs": self.read_repairs,
+                "dropped": self.dropped,
+                "kernels_removed": self.kernels_removed}
+
+
+# ----------------------------------------------------------------------
+# detection
+# ----------------------------------------------------------------------
+def scrub_stream(store: LocalShardedStore,
+                 stream: str) -> StreamScrubReport:
+    """Walk every shard line of one local stream, verifying each crc.
+
+    Operates on the raw files (no index mutation, nothing healed), so
+    it is safe to run against a live store.
+    """
+    report = StreamScrubReport(stream=stream)
+    live: Dict[str, bool] = {}
+    for path in store.shard_paths(stream):
+        data = path.read_bytes()
+        offset = 0
+        total = len(data)
+        while offset < total:
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                report.torn += 1
+                report.issues.append(ScrubIssue(
+                    stream, path.name, offset, "torn",
+                    f"final line has no newline "
+                    f"({total - offset} bytes)"))
+                break
+            raw = data[offset:newline]
+            line_at = offset
+            offset = newline + 1
+            if not raw.strip():
+                continue
+            record = decode_record(raw)
+            if record is None:
+                report.corrupt += 1
+                report.issues.append(ScrubIssue(
+                    stream, path.name, line_at, "corrupt",
+                    f"undecodable line ({len(raw)} bytes)"))
+                continue
+            report.records += 1
+            if "crc" not in record:
+                report.legacy += 1
+            elif not record_crc_ok(record):
+                report.mismatched += 1
+                report.issues.append(ScrubIssue(
+                    stream, path.name, line_at, "mismatched",
+                    f"crc mismatch for key {record.get('key')!r}"))
+                continue  # a damaged record never wins ordering here
+            key = record["key"]
+            if record.get("tombstone"):
+                live.pop(key, None)
+            else:
+                live[key] = True
+    report.live = len(live)
+    return report
+
+
+def _scrub_generic(store: ArtifactStore,
+                   stream: str) -> StreamScrubReport:
+    """Fallback for backends without shard files (e.g. in-memory)."""
+    keys = store.list(stream)
+    return StreamScrubReport(stream=stream, records=len(keys),
+                             live=len(keys))
+
+
+def _divergence(store: MirroredStore,
+                stream: str) -> StreamScrubReport:
+    """Cross-replica comparison for one stream of a mirrored store."""
+    report = StreamScrubReport(stream=stream)
+    keys = store.list(stream)
+    report.live = len(keys)
+    for key in keys:
+        probes = [MirroredStore._probe(child, stream, key)
+                  for child in store.children]
+        if len({(has, json.dumps(value, sort_keys=True))
+                for has, value in probes}) > 1:
+            missing = [i for i, (has, _) in enumerate(probes)
+                       if not has]
+            detail = (f"replicas disagree on key {key!r}"
+                      + (f" (missing from replica(s) {missing})"
+                         if missing else ""))
+            report.issues.append(ScrubIssue(
+                stream, "replicas", None, "divergent", detail))
+    return report
+
+
+def verify_store(store: ArtifactStore,
+                 streams: Optional[Tuple[str, ...]] = None,
+                 kernels_root: Optional[Path] = None,
+                 _count: bool = True) -> VerifyReport:
+    """Verify every stream (and optionally the kernel cache) of a store.
+
+    Detection only — nothing on disk changes.  For a mirrored store the
+    report carries one nested :class:`VerifyReport` per replica plus
+    per-stream cross-replica divergence findings.
+    """
+    if streams is None:
+        streams = store.streams()
+    report = VerifyReport(backend=store.describe(), root=store.root)
+    if isinstance(store, MirroredStore):
+        report.streams = [_divergence(store, s) for s in streams]
+        report.replicas = [
+            verify_store(child, streams, _count=False)
+            for child in store.children]
+    elif isinstance(store, LocalShardedStore):
+        report.streams = [scrub_stream(store, s) for s in streams]
+    else:
+        report.streams = [_scrub_generic(store, s) for s in streams]
+    if kernels_root is not None:
+        report.kernels = scrub_kernels(kernels_root)
+    if _count:
+        INTEGRITY.inc("scrub_runs")
+        flagged = report.flagged
+        if flagged:
+            INTEGRITY.inc("scrub_flagged", flagged)
+    return report
+
+
+# ----------------------------------------------------------------------
+# repair
+# ----------------------------------------------------------------------
+@contextmanager
+def _forced_verification() -> Iterator[None]:
+    """Repair must never rewrite a record that fails its crc, even
+    under ``REPRO_STORE_VERIFY=off``."""
+    previous = os.environ.get(ENV_STORE_VERIFY)
+    if verify_mode() == "off":
+        os.environ[ENV_STORE_VERIFY] = "read"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_STORE_VERIFY, None)
+        else:
+            os.environ[ENV_STORE_VERIFY] = previous
+
+
+def repair_store(store: ArtifactStore,
+                 streams: Optional[Tuple[str, ...]] = None,
+                 kernels_root: Optional[Path] = None) -> RepairReport:
+    """Heal what :func:`verify_store` flagged.
+
+    Mirrored stores first read-repair every key (restoring damaged
+    records from a healthy replica), then every backend compacts, which
+    rewrites each shard without its corrupt/torn/mismatched lines.
+    Flagged kernel-cache entries are evicted (they recompile lazily).
+    """
+    if streams is None:
+        streams = store.streams()
+    report = RepairReport()
+    with _forced_verification():
+        if isinstance(store, MirroredStore):
+            for stream in streams:
+                report.read_repairs += store.repair_stream(stream)
+        for stream in streams:
+            compaction = store.compact(stream)
+            report.dropped += (compaction.dropped_corrupt
+                               + compaction.dropped_mismatched)
+    if kernels_root is not None:
+        report.kernels_removed = repair_kernels(kernels_root)
+    repaired = (report.read_repairs + report.dropped
+                + report.kernels_removed)
+    if repaired:
+        INTEGRITY.inc("scrub_repaired", repaired)
+    return report
+
+
+# ----------------------------------------------------------------------
+# the compiled-kernel cache
+# ----------------------------------------------------------------------
+def _kernel_entries(root: Path) -> List[Path]:
+    if not root.is_dir():
+        return []
+    return sorted(so for so in root.glob("*.so")
+                  if ".tmp." not in so.name)
+
+
+def _kernel_issues(so: Path) -> List[ScrubIssue]:
+    issues: List[ScrubIssue] = []
+
+    def flag(kind: str, detail: str) -> None:
+        issues.append(ScrubIssue("kernels", so.name, None, kind,
+                                 detail))
+
+    src = so.with_suffix(".c")
+    meta_path = so.with_suffix(".json")
+    meta: Dict[str, Any] = {}
+    if not meta_path.exists():
+        flag("incomplete", "missing .json metadata")
+    else:
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            meta = {}
+            flag("corrupt", "unreadable .json metadata")
+    if not src.exists():
+        flag("incomplete", "missing .c source")
+    so_sha = meta.get("so_sha256")
+    if isinstance(so_sha, str):
+        actual = hashlib.sha256(so.read_bytes()).hexdigest()
+        if actual != so_sha:
+            flag("mismatched", "binary hash differs from metadata")
+    signature = meta.get("signature")
+    if src.exists() and isinstance(signature, str):
+        digest = hashlib.sha256()
+        digest.update(src.read_text().encode())
+        digest.update(signature.encode())
+        if digest.hexdigest()[:32] != so.stem:
+            flag("mismatched", "source no longer matches cache key")
+    return issues
+
+
+def scrub_kernels(root: Path) -> Dict[str, Any]:
+    """Verify the compiled-kernel cache under ``root``.
+
+    Every installed ``.so`` must have its ``.c`` source and ``.json``
+    metadata, the recorded binary hash must match the file (metas
+    written before the hash existed are legacy, never flagged), and the
+    source + toolchain signature must still hash to the cache key.
+    """
+    root = Path(root)
+    issues: List[ScrubIssue] = []
+    entries = _kernel_entries(root)
+    for so in entries:
+        issues.extend(_kernel_issues(so))
+    return {"path": str(root), "checked": len(entries),
+            "flagged": len(issues), "issues": issues}
+
+
+def repair_kernels(root: Path) -> int:
+    """Evict every flagged kernel-cache entry; returns entries removed.
+
+    Eviction is safe: a missing kernel recompiles lazily on next use,
+    and removal happens under the entry's install lock.
+    """
+    root = Path(root)
+    removed = 0
+    for so in _kernel_entries(root):
+        if not _kernel_issues(so):
+            continue
+        with exclusive_lock(so.with_suffix(".lock")):
+            for suffix in (".so", ".c", ".json"):
+                try:
+                    so.with_suffix(suffix).unlink()
+                except OSError:
+                    pass
+        try:
+            so.with_suffix(".lock").unlink()
+        except OSError:
+            pass
+        removed += 1
+    return removed

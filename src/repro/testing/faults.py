@@ -14,6 +14,7 @@ Spec grammar (``REPRO_FAULTS`` or :func:`FaultPlan.parse`)::
     site    := llm.generate | compiler.optimize | worker.execute | <any string>
     kind    := raise | timeout | malformed | delay      (in-process)
              | kill | oom | hang | exit                 (process-level)
+             | bitflip | truncate | garbage             (data corruption)
 
     keys: times=N    inject on the first N matching calls (default: 1)
           always     inject on every matching call
@@ -22,12 +23,24 @@ Spec grammar (``REPRO_FAULTS`` or :func:`FaultPlan.parse`)::
           seconds=S  sleep S seconds (delay default 0.05; hang 3600)
           code=N     exit status for kind exit (default 3)
           mb=N       allocation target for kind oom (default 512)
+          bytes=N    bytes chopped off by kind truncate (default 4)
 
 Examples::
 
     REPRO_FAULTS="llm.generate:raise:times=2"
     REPRO_FAULTS="llm.generate:delay:seconds=0.2:always"
     REPRO_FAULTS="worker.execute:kill:after=1;worker.execute:oom:mb=64"
+    REPRO_FAULTS="store.append:bitflip:times=1"
+
+The data-corruption kinds (:data:`DATA_KINDS`) transform bytes in
+flight rather than failing a call: store-write sites pass each encoded
+record through :func:`corrupt_bytes` so a scheduled ``bitflip`` /
+``truncate`` / ``garbage`` clause damages exactly the bytes that reach
+the shard file — deterministically (the flip offset derives from the
+record's own crc32), which is how the scrub/read-repair paths are
+exercised end to end.  The mirrored store backend gives each replica
+its own site (``store.append.0``, ``store.append.1``, ...) so a test
+can corrupt a single copy.
 
 Faults raised here carry ``transient = True`` so the resilience layer
 (:mod:`repro.api.resilience`) retries them; ``delay`` sleeps through
@@ -60,6 +73,7 @@ import os
 import signal
 import threading
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -70,7 +84,9 @@ INPROCESS_KINDS = ("raise", "timeout", "malformed", "delay")
 #: kinds that take the *process* down; executed only inside supervised
 #: worker processes (see module docstring)
 PROCESS_KINDS = ("kill", "oom", "hang", "exit")
-KINDS = INPROCESS_KINDS + PROCESS_KINDS
+#: kinds that corrupt bytes in flight at store-write sites
+DATA_KINDS = ("bitflip", "truncate", "garbage")
+KINDS = INPROCESS_KINDS + PROCESS_KINDS + DATA_KINDS
 
 #: exit status a worker uses to report death by memory exhaustion
 #: (injected oom or a real MemoryError under RLIMIT_AS)
@@ -111,6 +127,7 @@ class FaultClause:
     seconds: float = 0.05
     code: int = 3              # kind exit
     megabytes: int = 512       # kind oom
+    nbytes: int = 4            # kind truncate
 
     def fires(self, call_index: int, injected_so_far: int) -> bool:
         """Decide for the ``call_index``-th (0-based) matching call."""
@@ -152,6 +169,8 @@ def _parse_clause(text: str) -> FaultClause:
             options["code"] = int(value)
         elif key in ("mb", "megabytes"):
             options["megabytes"] = int(value)
+        elif key == "bytes":
+            options["nbytes"] = int(value)
         else:
             raise ValueError(f"unknown fault option {key!r} in {text!r}")
     if kind == "hang":
@@ -192,6 +211,8 @@ class FaultPlan:
                 doc["code"] = c.code
             if c.kind == "oom":
                 doc["megabytes"] = c.megabytes
+            if c.kind == "truncate":
+                doc["bytes"] = c.nbytes
             docs.append(doc)
         return docs
 
@@ -224,9 +245,11 @@ class FaultPlan:
         raising kinds abort the call with their transient exception.
         Process-level kinds are skipped — only a supervised worker may
         execute those (an in-process site must never kill the daemon).
+        Data-corruption kinds are skipped too: they only make sense
+        where bytes flow through (see :func:`corrupt_bytes`).
         """
         for clause in self.due(site):
-            if clause.kind in PROCESS_KINDS:
+            if clause.kind in PROCESS_KINDS or clause.kind in DATA_KINDS:
                 continue
             apply_clause(clause, site)
 
@@ -278,6 +301,52 @@ def maybe_fault(site: str) -> None:
     plan = active_plan()
     if plan is not None:
         plan.check(site)
+
+
+def corrupt_data(clause: FaultClause, data: bytes) -> bytes:
+    """Apply one data-corruption clause to ``data``.
+
+    * ``bitflip``  flips one bit at a content-derived offset (the
+      record's own crc32 modulo its length), sparing the final byte so
+      a trailing record separator survives — the damage lands *inside*
+      the line, exactly what the integrity envelope must catch.
+    * ``truncate`` chops ``bytes=N`` off the end (a torn write).
+    * ``garbage``  replaces the data with a fixed unparseable line.
+
+    All three are pure functions of (clause, data): the same scheduled
+    fault corrupts the same bytes on every run.
+    """
+    if clause.kind == "bitflip":
+        if len(data) < 2:
+            return data
+        offset = zlib.crc32(data) % (len(data) - 1)
+        flipped = bytearray(data)
+        flipped[offset] ^= 0x01
+        return bytes(flipped)
+    if clause.kind == "truncate":
+        return data[:max(0, len(data) - clause.nbytes)]
+    if clause.kind == "garbage":
+        return b"<<garbage 0xDEADBEEF>>\n"
+    raise ValueError(f"not a data fault kind: {clause.kind!r}")
+
+
+def corrupt_bytes(site: str, data: bytes) -> bytes:
+    """Run ``data`` through whatever the plan owes this write ``site``.
+
+    Data-corruption clauses transform the bytes; in-process clauses
+    (``raise``/``timeout``/...) still abort the call; process-level
+    clauses are skipped, as in :meth:`FaultPlan.check`.  With no active
+    plan the bytes pass through untouched.
+    """
+    plan = active_plan()
+    if plan is None:
+        return data
+    for clause in plan.due(site):
+        if clause.kind in DATA_KINDS:
+            data = corrupt_data(clause, data)
+        elif clause.kind in INPROCESS_KINDS:
+            apply_clause(clause, site)
+    return data
 
 
 # ----------------------------------------------------------------------

@@ -21,7 +21,7 @@ from repro.evaluation.store import STORE_DIR, cache_dir
 from repro.ir import parse_scop
 from repro.serve import (JOURNAL_STREAM, JournalUnavailable,
                          RequestJournal, ServeConfig, ServeDaemon,
-                         request_signature)
+                         prune_finished, request_signature)
 from repro.storage import InMemoryStore, open_store
 from repro.testing.faults import FaultPlan, install_plan
 
@@ -46,6 +46,28 @@ def _post(addr, body, timeout=120):
         return resp.status, resp.read().decode()
     finally:
         conn.close()
+
+
+def _corrupt_stored_record(store, signature):
+    """Rot ``signature``'s newest stored line: edit the journaled
+    payload in place but keep the old crc, so the record still parses
+    as JSON yet fails verification."""
+    target = None
+    for path in store.shard_paths(JOURNAL_STREAM):
+        lines = path.read_text().splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            if record.get("key") == signature \
+                    and not record.get("tombstone"):
+                target = (path, lines, index, record)
+    assert target is not None, "no stored line to corrupt"
+    path, lines, index, record = target
+    record["payload"]["attempts"] = 999  # tamper; crc left stale
+    lines[index] = json.dumps(record, separators=(",", ":"))
+    path.write_text("\n".join(lines) + "\n")
+    store.refresh(JOURNAL_STREAM)
 
 
 def _expected_bytes(include_events=True):
@@ -241,6 +263,29 @@ class TestDaemonJournal:
         assert record["status"] == "failed"
         assert record["error"]["kind"] == "replay_failed"
 
+    def test_recover_refuses_a_corrupt_journal_record(self,
+                                                      make_daemon):
+        # the stored line rots on disk: valid JSON, stale crc
+        signature = request_signature(BODY)
+        store = open_store(Path(cache_dir()) / STORE_DIR)
+        journal = RequestJournal(store)
+        journal.admitted(signature, BODY)
+        journal.started(signature)
+        _corrupt_stored_record(store, signature)
+
+        daemon = make_daemon(recover=True)  # boots; refuses the replay
+        assert daemon.metrics.get("journal_corrupt_total") == 1
+        assert daemon.metrics.get("journal_replayed_total") == 0
+        record = daemon.journal.record(signature)
+        assert record["status"] == "failed"
+        assert record["error"]["kind"] == "corrupt_record"
+
+        # resubmission re-runs it: failure is circumstance, not content
+        status, text = _post(daemon.address, BODY)
+        assert status == 200
+        assert text == _expected_bytes()
+        assert daemon.journal.record(signature)["status"] == "completed"
+
     def test_volatile_backend_refused_unless_no_journal(
             self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
@@ -267,6 +312,77 @@ class TestDaemonJournal:
         doc = json.loads(capsys.readouterr().out)
         assert JOURNAL_STREAM in doc["streams"]
         assert doc["streams"][JOURNAL_STREAM]["entries"] == 1
+
+
+# ----------------------------------------------------------------------
+# retention: `repro store compact --journal-keep N`
+# ----------------------------------------------------------------------
+class TestJournalRetention:
+    def _journal_with_history(self, root):
+        store = open_store(root / "store", "local")
+        journal = RequestJournal(store)
+        for i in range(5):
+            journal.admitted(f"sig-{i}", {"request": i})
+            journal.completed(f"sig-{i}", {"verdict": i})
+        journal.admitted("pending-a", {"request": "a"})
+        journal.admitted("pending-b", {"request": "b"})
+        journal.started("pending-b")
+        journal.admitted("sig-bad", {"request": "bad"})
+        journal.failed("sig-bad", {"kind": "backend", "message": "x"})
+        return store, journal
+
+    def test_prune_keeps_newest_finished_by_seq(self, tmp_path):
+        store, journal = self._journal_with_history(tmp_path)
+        report = prune_finished(store, keep=2)
+        # 6 finished (5 completed + 1 failed): the oldest 4 go
+        assert report == {"dropped": 4, "kept_finished": 2,
+                          "unfinished": 2}
+        for old in ("sig-0", "sig-1", "sig-2", "sig-3"):
+            assert journal.record(old) is None
+        assert journal.record("sig-4")["status"] == "completed"
+        assert journal.record("sig-bad")["status"] == "failed"
+
+    def test_prune_never_touches_unfinished(self, tmp_path):
+        store, journal = self._journal_with_history(tmp_path)
+        prune_finished(store, keep=0)  # drop every finished record
+        assert sorted(sig for sig, _ in journal.unfinished()) \
+            == ["pending-a", "pending-b"]
+        assert journal.record("sig-4") is None
+        report = prune_finished(store, keep=100)  # nothing left to drop
+        assert report["dropped"] == 0
+
+    def test_seq_resumes_across_journal_lifetimes(self, tmp_path):
+        store, journal = self._journal_with_history(tmp_path)
+        high = journal.record("sig-bad")["seq"]
+        reborn = RequestJournal(open_store(tmp_path / "store", "local"))
+        reborn.admitted("later", {"request": "later"})
+        assert reborn.record("later")["seq"] == high + 1
+
+    def test_cli_journal_keep_prunes_then_compacts(self, monkeypatch,
+                                                   tmp_path, capsys):
+        monkeypatch.delenv("REPRO_JOURNAL_KEEP", raising=False)
+        self._journal_with_history(tmp_path)
+        from repro.cli import main
+        assert main(["store", "compact", "--cache-dir", str(tmp_path),
+                     "--backend", "local", "--journal-keep", "2",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["journal_retention"]["dropped"] == 4
+        assert doc["journal_retention"]["kept_finished"] == 2
+
+        # the tombstoned bytes are really gone after the compaction
+        fresh = open_store(tmp_path / "store", "local")
+        stats = fresh.stream_stats(JOURNAL_STREAM)
+        assert stats.entries == 4  # 2 finished survivors + 2 pending
+        assert stats.tombstones == 0
+
+        # the env knob is the fallback when the flag is absent
+        monkeypatch.setenv("REPRO_JOURNAL_KEEP", "1")
+        assert main(["store", "compact", "--cache-dir", str(tmp_path),
+                     "--backend", "local", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["journal_retention"]["dropped"] == 1
+        assert doc["journal_retention"]["kept_finished"] == 1
 
 
 # ----------------------------------------------------------------------

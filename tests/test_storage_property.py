@@ -1,8 +1,9 @@
-"""Property-based equivalence: sharded backend vs in-memory spec.
+"""Property-based equivalence: file-backed backends vs in-memory spec.
 
 Hypothesis drives arbitrary interleavings of put/get/delete/compact/
 reopen/list over the same keyspace through a :class:`LocalShardedStore`
-and the :class:`InMemoryStore` executable specification and requires
+(and a :class:`MirroredStore` over two of them) and the
+:class:`InMemoryStore` executable specification and requires
 observationally identical answers — including the waste counters
 (superseded / tombstones), which both backends must account the same
 way for ``repro store stats`` to mean anything.  ``reopen`` swaps in a
@@ -16,7 +17,22 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.storage import InMemoryStore, LocalShardedStore
+from repro.storage import InMemoryStore, LocalShardedStore, MirroredStore
+
+
+def _local(root):
+    return LocalShardedStore(root / "local", shards=4)
+
+
+def _mirrored(root):
+    # deliberately different shard counts per replica: key placement
+    # must never leak into observable behaviour
+    return MirroredStore(str(root / "mir"), children=[
+        LocalShardedStore(root / "mir" / "replica-0", shards=2),
+        LocalShardedStore(root / "mir" / "replica-1", shards=4)])
+
+
+FACTORIES = {"local": _local, "mirrored": _mirrored}
 
 KEYS = ("alpha", "beta", "gamma", "delta", "")
 STREAMS = ("s1", "s2")
@@ -74,42 +90,48 @@ def apply(store, op):
     return ("reopened",)
 
 
+@pytest.mark.parametrize("backend", sorted(FACTORIES))
 @settings(max_examples=60, deadline=None)
-@given(st.lists(ops, max_size=40))
-def test_sharded_store_matches_in_memory_spec(tmp_path_factory, script):
+@given(script=st.lists(ops, max_size=40))
+def test_sharded_store_matches_in_memory_spec(tmp_path_factory, backend,
+                                              script):
     root = tmp_path_factory.mktemp("prop")
-    local = LocalShardedStore(root / "local", shards=4)
+    factory = FACTORIES[backend]
+    store = factory(root)
     spec = InMemoryStore(str(root / "spec"))
     for step, op in enumerate(script):
         if op[0] == "reopen":
-            local = LocalShardedStore(root / "local", shards=4)
+            store = factory(root)
             spec = InMemoryStore(str(root / "spec"))
             continue
-        observed = apply(local, op)
+        observed = apply(store, op)
         expected = apply(spec, op)
         assert observed == expected, (
-            f"step {step}: {op!r} -> local {observed!r} "
+            f"step {step}: {op!r} -> {backend} {observed!r} "
             f"!= spec {expected!r}")
     # final state agrees stream by stream, key by key
     for stream in STREAMS:
-        assert local.list(stream) == spec.list(stream)
+        assert store.list(stream) == spec.list(stream)
         for key in spec.list(stream):
-            assert local.read(stream, key) == spec.read(stream, key)
+            assert store.read(stream, key) == spec.read(stream, key)
 
 
+@pytest.mark.parametrize("backend", sorted(FACTORIES))
 @settings(max_examples=20, deadline=None)
-@given(st.lists(st.tuples(st.sampled_from(KEYS), payloads),
-                max_size=30))
-def test_compaction_is_observation_preserving(tmp_path_factory, puts):
+@given(puts=st.lists(st.tuples(st.sampled_from(KEYS), payloads),
+                     max_size=30))
+def test_compaction_is_observation_preserving(tmp_path_factory, backend,
+                                              puts):
     """compact() never changes what readers see, only file shape."""
     root = tmp_path_factory.mktemp("prop-compact")
-    store = LocalShardedStore(root, shards=4)
+    factory = FACTORIES[backend]
+    store = factory(root)
     for key, payload in puts:
         store.append("s", key, payload)
     before = {key: store.read("s", key) for key in store.list("s")}
     store.compact("s")
     assert {k: store.read("s", k) for k in store.list("s")} == before
-    fresh = LocalShardedStore(root, shards=4)
+    fresh = factory(root)
     assert {k: fresh.read("s", k) for k in fresh.list("s")} == before
     stats = fresh.stream_stats("s")
     assert stats.superseded == 0 and stats.corrupt == 0
